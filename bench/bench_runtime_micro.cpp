@@ -1,0 +1,151 @@
+//===- bench_runtime_micro.cpp - Runtime primitive microbenchmarks -----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// google-benchmark timings for the primitives whose relative costs drive
+// the paper's overhead story: epoch-based FastTrack location ops, vector
+// clock joins, adaptive array shadow operations (coarse vs fine),
+// footprint construction/commit, entailment queries, and the parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "entail/ConstraintSystem.h"
+#include "runtime/ArrayShadow.h"
+#include "runtime/Detector.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bigfoot;
+
+namespace {
+
+VectorClock clockFor(ThreadId T) {
+  VectorClock C;
+  C.set(T, 1);
+  return C;
+}
+
+void BM_EpochSameThreadWrite(benchmark::State &State) {
+  FastTrackState S;
+  VectorClock C = clockFor(0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.onWrite(0, C));
+}
+BENCHMARK(BM_EpochSameThreadWrite);
+
+void BM_EpochOrderedReadWrite(benchmark::State &State) {
+  FastTrackState S;
+  VectorClock C = clockFor(0);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.onRead(0, C));
+    benchmark::DoNotOptimize(S.onWrite(0, C));
+  }
+}
+BENCHMARK(BM_EpochOrderedReadWrite);
+
+void BM_VectorClockJoin(benchmark::State &State) {
+  VectorClock A, B;
+  for (ThreadId T = 0; T < 16; ++T) {
+    A.set(T, T * 3);
+    B.set(T, 50 - T);
+  }
+  for (auto _ : State) {
+    VectorClock C = A;
+    C.joinWith(B);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_VectorClockJoin);
+
+void BM_CoarseWholeArrayCheck(benchmark::State &State) {
+  VectorClock C = clockFor(0);
+  ArrayShadow S(1 << 16, /*Adaptive=*/true);
+  StridedRange Whole(0, 1 << 16);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.apply(Whole, AccessKind::Write, 0, C));
+}
+BENCHMARK(BM_CoarseWholeArrayCheck);
+
+void BM_FineWholeArrayCheck(benchmark::State &State) {
+  VectorClock C = clockFor(0);
+  ArrayShadow S(1 << 10, /*Adaptive=*/false);
+  StridedRange Whole(0, 1 << 10);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.apply(Whole, AccessKind::Write, 0, C));
+}
+BENCHMARK(BM_FineWholeArrayCheck);
+
+void BM_FootprintAddSequential(benchmark::State &State) {
+  for (auto _ : State) {
+    RangeSet FP;
+    for (int64_t I = 0; I < 256; ++I)
+      FP.add(StridedRange::singleton(I));
+    benchmark::DoNotOptimize(FP);
+  }
+}
+BENCHMARK(BM_FootprintAddSequential);
+
+void BM_FootprintAddStrided(benchmark::State &State) {
+  for (auto _ : State) {
+    RangeSet FP;
+    for (int64_t I = 0; I < 512; I += 2)
+      FP.add(StridedRange::singleton(I));
+    benchmark::DoNotOptimize(FP);
+  }
+}
+BENCHMARK(BM_FootprintAddStrided);
+
+void BM_DeferredCommitCycle(benchmark::State &State) {
+  Stats Counters;
+  RaceDetector D(slimStateConfig(), Counters);
+  D.onArrayAlloc(1, 4096);
+  for (auto _ : State) {
+    for (int64_t I = 0; I < 128; ++I)
+      D.checkArrayRange(0, 1, StridedRange::singleton(I),
+                        AccessKind::Write);
+    D.onRelease(0, 9);
+  }
+}
+BENCHMARK(BM_DeferredCommitCycle);
+
+void BM_EntailmentProveLe(benchmark::State &State) {
+  ConstraintSystem CS;
+  CS.addEquality(AffineExpr::variable("i"), AffineExpr::variable("i'") + 1);
+  CS.addLe(AffineExpr::constant(0), AffineExpr::variable("i'"));
+  CS.addLt(AffineExpr::variable("i"), AffineExpr::variable("n"));
+  AffineExpr L = AffineExpr::variable("i'");
+  AffineExpr R = AffineExpr::variable("n");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CS.proveLe(L, R));
+}
+BENCHMARK(BM_EntailmentProveLe);
+
+void BM_ParseSmallProgram(benchmark::State &State) {
+  const char *Source = R"(
+class Point {
+  fields x, y, z;
+  method move(dx) {
+    t = this.x;
+    this.x = t + dx;
+  }
+}
+thread {
+  p = new Point;
+  i = 0;
+  while (i < 10) {
+    p.move(i);
+    i = i + 1;
+  }
+}
+)";
+  for (auto _ : State) {
+    ParseResult R = parseProgram(Source);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ParseSmallProgram);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+//===- adaptive_shadow_demo.cpp - Watching shadow state adapt -----------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Drives the Section 4 adaptive array shadow directly through the public
+// runtime API and narrates its representation changes: coarse for
+// whole-array checks, segments for the movePts(a, 0, n/2) refinement,
+// residue classes for strided sweeps, and the fall back to fine-grained
+// state for lufact-style triangular patterns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArrayShadow.h"
+
+#include <iostream>
+
+using namespace bigfoot;
+
+namespace {
+
+const char *modeName(ArrayShadow::Mode M) {
+  switch (M) {
+  case ArrayShadow::Mode::Coarse:
+    return "coarse (1 location)";
+  case ArrayShadow::Mode::Segments:
+    return "segments";
+  case ArrayShadow::Mode::Strided:
+    return "residue classes";
+  case ArrayShadow::Mode::Fine:
+    return "fine-grained";
+  }
+  return "?";
+}
+
+void narrate(ArrayShadow &S, const StridedRange &R, AccessKind K,
+             ThreadId T, const VectorClock &C) {
+  ShadowOpResult Res = S.apply(R, K, T, C);
+  std::cout << "  check " << (K == AccessKind::Read ? "R " : "W ")
+            << R.str() << " -> " << Res.ShadowOps << " shadow op(s), "
+            << Res.Refinements << " refinement(s); now " << modeName(S.mode())
+            << " with " << S.locationCount() << " location(s)\n";
+}
+
+} // namespace
+
+int main() {
+  VectorClock T0, T1;
+  T0.set(0, 1);
+  T1.set(1, 1);
+
+  std::cout << "=== The paper's movePts scenario (Section 1) ===\n";
+  ArrayShadow A(1000, /*Adaptive=*/true);
+  std::cout << "new array of 1000: " << modeName(A.mode()) << "\n";
+  narrate(A, StridedRange(0, 1000), AccessKind::Read, 0, T0);
+  std::cout << "movePts(a, 0, a.length/2) refines the representation:\n";
+  narrate(A, StridedRange(0, 500), AccessKind::Read, 0, T0);
+
+  std::cout << "\n=== Strided sweeps keep one location per residue class "
+               "===\n";
+  ArrayShadow B(1024, true);
+  narrate(B, StridedRange(0, 1024, 2), AccessKind::Write, 0, T0);
+  narrate(B, StridedRange(1, 1024, 2), AccessKind::Write, 1, T1);
+  std::cout << "  (two threads, disjoint residue classes, no races, two "
+               "locations total)\n";
+
+  std::cout << "\n=== Block-strided chunks (sor's red/black halves) stay "
+               "on the grid ===\n";
+  ArrayShadow G(12000, true);
+  narrate(G, StridedRange(1, 6000, 2), AccessKind::Write, 0, T0);
+  narrate(G, StridedRange(6001, 12000, 2), AccessKind::Write, 1, T1);
+  narrate(G, StridedRange(2, 6000, 2), AccessKind::Write, 0, T0);
+  narrate(G, StridedRange(6002, 12000, 2), AccessKind::Write, 1, T1);
+  std::cout << "  (segments x residue classes: a handful of locations for "
+               "12000 elements)\n";
+
+  std::cout << "\n=== The lufact pattern defeats compression (Section 6.2) "
+               "===\n";
+  ArrayShadow Tri(2000, true);
+  unsigned Ops = 0;
+  for (int64_t Lo = 0; Lo < 600; ++Lo)
+    Ops += Tri.apply(StridedRange(Lo, 2000), AccessKind::Write, 0, T0)
+               .ShadowOps;
+  std::cout << "  600 shrinking prefix checks -> " << modeName(Tri.mode())
+            << " with " << Tri.locationCount() << " locations and " << Ops
+            << " shadow ops total\n";
+
+  std::cout << "\n=== Refinement never forgets history ===\n";
+  ArrayShadow Hist(100, true);
+  Hist.apply(StridedRange(0, 100), AccessKind::Write, 0, T0);
+  ShadowOpResult Racy =
+      Hist.apply(StridedRange(10, 20), AccessKind::Write, 1, T1);
+  std::cout << "  T0 wrote [0..100) coarsely; T1 writes [10..20) without "
+               "ordering ->\n  "
+            << Racy.Races.size()
+            << " race detected even though the location split ("
+            << modeName(Hist.mode()) << ")\n";
+  return Racy.Races.empty() ? 1 : 0;
+}

@@ -1,0 +1,92 @@
+//===- quickstart.cpp - BigFoot in five minutes -------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Walks the Figure 1 example end to end: parse a BFJ program, run the
+// StaticBF check placement, show the placed (coalesced) checks next to
+// what a per-access detector would insert, then execute both under their
+// detectors and compare the work they did.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "bfj/Printer.h"
+#include "instrument/Instrumenters.h"
+#include "vm/Vm.h"
+
+#include <iostream>
+
+using namespace bigfoot;
+
+static const char *Figure1 = R"(
+class Point {
+  fields x, y, z;
+  method move(dx, dy, dz) {
+    tmp = this.x;
+    this.x = tmp + dx;
+    tmp2 = this.y;
+    this.y = tmp2 + dy;
+    tmp3 = this.z;
+    this.z = tmp3 + dz;
+  }
+}
+class Mover {
+  fields dummy;
+  method movePts(a, lo, hi) {
+    i = lo;
+    while (i < hi) {
+      p = a[i];
+      p.move(1, 1, 1);
+      i = i + 1;
+    }
+  }
+}
+thread {
+  n = 64;
+  pts = new_array(n);
+  i = 0;
+  while (i < n) {
+    pt = new Point;
+    pts[i] = pt;
+    i = i + 1;
+  }
+  m = new Mover;
+  m.movePts(pts, 0, n);
+}
+)";
+
+int main() {
+  auto Prog = parseProgramOrDie(Figure1);
+
+  std::cout << "=== Standard (FastTrack) check placement ===\n";
+  InstrumentedProgram Ft = instrumentFastTrack(*Prog);
+  std::cout << printProgram(*Ft.Prog) << "\n";
+
+  std::cout << "=== BigFoot check placement ===\n";
+  InstrumentedProgram Bf = instrumentBigFoot(*Prog);
+  std::cout << printProgram(*Bf.Prog) << "\n";
+
+  std::cout << "=== Running both under their detectors ===\n";
+  VmOptions Opts;
+  VmResult FtRun = runProgram(*Ft.Prog, Ft.Tool, Opts);
+  VmResult BfRun = runProgram(*Bf.Prog, Bf.Tool, Opts);
+  if (!FtRun.Ok || !BfRun.Ok) {
+    std::cerr << "run failed: " << FtRun.Error << BfRun.Error << "\n";
+    return 1;
+  }
+  auto Show = [](const char *Name, const VmResult &R) {
+    uint64_t Events = R.Counters.get("tool.checkEvents.field") +
+                      R.Counters.get("tool.checkEvents.array");
+    uint64_t Accesses = R.Counters.get("vm.accesses");
+    std::cout << Name << ": " << Accesses << " heap accesses, " << Events
+              << " check events (ratio "
+              << static_cast<double>(Events) / Accesses << "), "
+              << R.Counters.get("tool.shadowOps") << " shadow ops, "
+              << R.ToolRaces.size() << " races\n";
+  };
+  Show("FastTrack", FtRun);
+  Show("BigFoot  ", BfRun);
+  std::cout << "\nSame verdict (no races), a fraction of the checking "
+               "work — that is the paper's\nFigure 1 in action.\n";
+  return 0;
+}

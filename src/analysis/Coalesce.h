@@ -1,0 +1,42 @@
+//===- Coalesce.h - Post-analysis path coalescing ---------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The final coalescing step of Section 4: within one check(C), field
+/// paths with provably equal designators merge into a single coalesced
+/// field path d.f1/f2/.../fn, and array paths merge into one strided range
+/// whenever a range denoting the exact same index set exists. Exactness
+/// matters — a larger range would risk false alarms, a smaller one missed
+/// races — so merges happen only when the entailment engine proves them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_ANALYSIS_COALESCE_H
+#define BIGFOOT_ANALYSIS_COALESCE_H
+
+#include "analysis/HistoryContext.h"
+#include "bfj/Path.h"
+
+#include <vector>
+
+namespace bigfoot {
+
+/// Coalesces \p Paths under the facts of \p H (the check's pre-history).
+/// Field paths merge per designator-equivalence class and access kind;
+/// array paths merge by chaining / stride reconstruction. Unmergeable
+/// paths pass through unchanged.
+std::vector<Path> coalescePaths(const std::vector<Path> &Paths,
+                                const History &H);
+
+/// Attempts to merge exactly two symbolic ranges into one covering the
+/// same index set, under \p CS. Exposed for testing.
+std::optional<SymbolicRange> mergeRanges(const SymbolicRange &A,
+                                         const SymbolicRange &B,
+                                         ConstraintSystem &CS);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_ANALYSIS_COALESCE_H

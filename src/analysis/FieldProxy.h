@@ -1,0 +1,34 @@
+//===- FieldProxy.h - Static field proxy compression ------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static shadow proxy analysis of Section 4 (after RedCard): field x
+/// is a proxy for y when every check mentioning y on some designator also
+/// checks x on that designator, in which case their shadow locations can
+/// be fused. We use the *symmetric* closure (x and y proxy each other),
+/// which the paper's footnote 2 notes preserves address precision, not
+/// just trace precision. One pass over all checks suffices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_ANALYSIS_FIELDPROXY_H
+#define BIGFOOT_ANALYSIS_FIELDPROXY_H
+
+#include "bfj/Program.h"
+
+#include <map>
+#include <string>
+
+namespace bigfoot {
+
+/// Computes proxy groups from the check statements of an instrumented
+/// program. Returns field -> group representative; fields absent from the
+/// map keep their own shadow location.
+std::map<std::string, std::string> computeFieldProxies(const Program &P);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_ANALYSIS_FIELDPROXY_H

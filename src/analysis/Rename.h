@@ -1,0 +1,53 @@
+//===- Rename.h - Freshness pass ([RENAME] insertion) -----------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The check-placement rules require every assignment target to be
+/// "fresh" — not mentioned in the current history (Section 3.3). Source
+/// programs reuse variables (i = i + 1), so this pass inserts renaming
+/// statements x' := x on demand before such assignments and rewrites the
+/// assignment's own uses of x to x', exactly as in Figure 6(b). Extra
+/// renames are harmless (a local copy); missing ones would invalidate
+/// history facts, so the pass overapproximates "mentioned".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_ANALYSIS_RENAME_H
+#define BIGFOOT_ANALYSIS_RENAME_H
+
+#include "bfj/Program.h"
+
+namespace bigfoot {
+
+/// Rewrites \p E replacing variable \p From by \p To.
+std::unique_ptr<Expr> renameVarInExpr(const Expr *E, const std::string &From,
+                                      const std::string &To);
+
+/// Inserts renames into one method/thread body. Returns the number of
+/// renames inserted.
+unsigned insertRenames(StmtPtr &Body);
+
+/// Runs insertRenames over every body in \p P.
+unsigned insertRenames(Program &P);
+
+/// Ensures every If branch and Loop body is a BlockStmt so later passes
+/// can insert checks by appending.
+void normalizeBlocks(StmtPtr &S);
+
+/// Rewrites the *uses* inside \p S (receivers, indices, arguments) from
+/// \p Old to \p New, leaving the assignment target untouched.
+StmtPtr rewriteStmtUses(const Stmt *S, const std::string &Old,
+                        const std::string &New);
+
+/// Post-placement cleanup, mirroring the Soot optimizer pass of Section
+/// 5: a rename t := s whose target is used only by the immediately
+/// following simple statement (and by no check) is folded away by
+/// substituting s back in. Returns the number of renames removed.
+unsigned cleanupRenames(StmtPtr &Body);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_ANALYSIS_RENAME_H

@@ -1,0 +1,204 @@
+//===- Lexer.cpp - BFJ lexer -----------------------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Lexer.h"
+
+#include <cctype>
+
+using namespace bigfoot;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+bool isIdentTail(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '\'' || C == '$';
+}
+
+} // namespace
+
+std::vector<Token> bigfoot::tokenize(const std::string &Source) {
+  std::vector<Token> Out;
+  int Line = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto Emit = [&Out, &Line](TokenKind K, std::string Text = "",
+                            int64_t Value = 0) {
+    Out.push_back(Token{K, std::move(Text), Value, Line});
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Line comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentTail(Source[I]))
+        ++I;
+      Emit(TokenKind::Ident, Source.substr(Start, I - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      std::string Text = Source.substr(Start, I - Start);
+      Emit(TokenKind::Int, Text, std::stoll(Text));
+      continue;
+    }
+    auto Two = [&](char Next) {
+      return I + 1 < N && Source[I + 1] == Next;
+    };
+    switch (C) {
+    case '{':
+      Emit(TokenKind::LBrace);
+      ++I;
+      break;
+    case '}':
+      Emit(TokenKind::RBrace);
+      ++I;
+      break;
+    case '(':
+      Emit(TokenKind::LParen);
+      ++I;
+      break;
+    case ')':
+      Emit(TokenKind::RParen);
+      ++I;
+      break;
+    case '[':
+      Emit(TokenKind::LBracket);
+      ++I;
+      break;
+    case ']':
+      Emit(TokenKind::RBracket);
+      ++I;
+      break;
+    case ';':
+      Emit(TokenKind::Semi);
+      ++I;
+      break;
+    case ',':
+      Emit(TokenKind::Comma);
+      ++I;
+      break;
+    case '.':
+      if (Two('.')) {
+        Emit(TokenKind::DotDot);
+        I += 2;
+      } else {
+        Emit(TokenKind::Dot);
+        ++I;
+      }
+      break;
+    case ':':
+      if (Two('=')) {
+        Emit(TokenKind::ColonEq);
+        I += 2;
+      } else {
+        Emit(TokenKind::Colon);
+        ++I;
+      }
+      break;
+    case '/':
+      Emit(TokenKind::Slash);
+      ++I;
+      break;
+    case '=':
+      if (Two('=')) {
+        Emit(TokenKind::EqEq);
+        I += 2;
+      } else {
+        Emit(TokenKind::Assign);
+        ++I;
+      }
+      break;
+    case '+':
+      Emit(TokenKind::Plus);
+      ++I;
+      break;
+    case '-':
+      Emit(TokenKind::Minus);
+      ++I;
+      break;
+    case '*':
+      Emit(TokenKind::Star);
+      ++I;
+      break;
+    case '%':
+      Emit(TokenKind::Percent);
+      ++I;
+      break;
+    case '<':
+      if (Two('=')) {
+        Emit(TokenKind::Le);
+        I += 2;
+      } else {
+        Emit(TokenKind::Lt);
+        ++I;
+      }
+      break;
+    case '>':
+      if (Two('=')) {
+        Emit(TokenKind::Ge);
+        I += 2;
+      } else {
+        Emit(TokenKind::Gt);
+        ++I;
+      }
+      break;
+    case '!':
+      if (Two('=')) {
+        Emit(TokenKind::NotEq);
+        I += 2;
+      } else {
+        Emit(TokenKind::Not);
+        ++I;
+      }
+      break;
+    case '&':
+      if (Two('&')) {
+        Emit(TokenKind::AndAnd);
+        I += 2;
+      } else {
+        Emit(TokenKind::Error, "stray '&'");
+        return Out;
+      }
+      break;
+    case '|':
+      if (Two('|')) {
+        Emit(TokenKind::OrOr);
+        I += 2;
+      } else {
+        Emit(TokenKind::Error, "stray '|'");
+        return Out;
+      }
+      break;
+    default:
+      Emit(TokenKind::Error, std::string("unexpected character '") + C + "'");
+      return Out;
+    }
+  }
+  Emit(TokenKind::Eof);
+  return Out;
+}

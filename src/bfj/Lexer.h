@@ -1,0 +1,72 @@
+//===- Lexer.h - BFJ lexer --------------------------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for BFJ source. Identifiers may contain primes (i') so that
+/// programs containing analysis-generated rename targets round-trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_BFJ_LEXER_H
+#define BIGFOOT_BFJ_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+enum class TokenKind {
+  Ident,
+  Int,
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  DotDot,
+  Colon,
+  ColonEq,
+  Slash,
+  // Operators.
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Not,
+  // End of input / error.
+  Eof,
+  Error,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  int Line = 0;
+};
+
+/// Tokenizes \p Source. On a lexical error the token stream ends with an
+/// Error token whose Text describes the problem.
+std::vector<Token> tokenize(const std::string &Source);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_BFJ_LEXER_H

@@ -1,0 +1,44 @@
+//===- Parser.h - BFJ parser ------------------------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for BFJ source text. The accepted grammar is
+/// the A-normal-form language of Figure 5 with `while`/`do` sugar for the
+/// mid-test loop, plus fork/join, barriers, volatile field declarations,
+/// and parseable check(...) statements so instrumented programs round-trip
+/// through the printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_BFJ_PARSER_H
+#define BIGFOOT_BFJ_PARSER_H
+
+#include "bfj/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace bigfoot {
+
+/// Outcome of a parse: either a program or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Parses a whole BFJ program. On failure, Error carries a
+/// "line N: message" diagnostic.
+ParseResult parseProgram(const std::string &Source);
+
+/// Parses a program and aborts with the diagnostic on failure.
+/// Convenience for workloads and tests whose sources are compiled in.
+std::unique_ptr<Program> parseProgramOrDie(const std::string &Source);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_BFJ_PARSER_H

@@ -1,0 +1,34 @@
+//===- Printer.h - BFJ pretty printer ---------------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders BFJ ASTs back to parseable source text. Instrumented programs
+/// print with their check statements, which is how examples show the
+/// Figure 1 placements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_BFJ_PRINTER_H
+#define BIGFOOT_BFJ_PRINTER_H
+
+#include "bfj/Program.h"
+
+#include <string>
+
+namespace bigfoot {
+
+/// Renders a whole program.
+std::string printProgram(const Program &P);
+
+/// Renders one statement (tree) at \p Indent levels of two spaces.
+std::string printStmt(const Stmt *S, int Indent = 0);
+
+/// Renders a check path list as it appears inside check(...).
+std::string printPaths(const std::vector<Path> &Paths);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_BFJ_PRINTER_H

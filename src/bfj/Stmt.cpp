@@ -1,0 +1,138 @@
+//===- Stmt.cpp - BFJ statement AST ----------------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Stmt.h"
+
+using namespace bigfoot;
+
+namespace {
+/// Copies the statement id onto a freshly cloned node.
+StmtPtr withId(StmtPtr S, unsigned Id) {
+  S->setId(Id);
+  return S;
+}
+
+std::vector<std::unique_ptr<Expr>>
+cloneExprs(const std::vector<std::unique_ptr<Expr>> &Exprs) {
+  std::vector<std::unique_ptr<Expr>> Out;
+  Out.reserve(Exprs.size());
+  for (const auto &E : Exprs)
+    Out.push_back(E->clone());
+  return Out;
+}
+} // namespace
+
+StmtPtr SkipStmt::clone() const {
+  return withId(std::make_unique<SkipStmt>(), id());
+}
+
+StmtPtr BlockStmt::clone() const {
+  std::vector<StmtPtr> Out;
+  Out.reserve(Stmts.size());
+  for (const auto &S : Stmts)
+    Out.push_back(S->clone());
+  return withId(std::make_unique<BlockStmt>(std::move(Out)), id());
+}
+
+StmtPtr IfStmt::clone() const {
+  return withId(std::make_unique<IfStmt>(Cond->clone(), Then->clone(),
+                                         Else->clone()),
+                id());
+}
+
+StmtPtr LoopStmt::clone() const {
+  return withId(std::make_unique<LoopStmt>(PreBody->clone(),
+                                           ExitCond->clone(),
+                                           PostBody->clone()),
+                id());
+}
+
+StmtPtr AssignStmt::clone() const {
+  return withId(std::make_unique<AssignStmt>(Target, Value->clone()), id());
+}
+
+StmtPtr RenameStmt::clone() const {
+  return withId(std::make_unique<RenameStmt>(Target, Source), id());
+}
+
+StmtPtr AcquireStmt::clone() const {
+  return withId(std::make_unique<AcquireStmt>(LockVar), id());
+}
+
+StmtPtr ReleaseStmt::clone() const {
+  return withId(std::make_unique<ReleaseStmt>(LockVar), id());
+}
+
+StmtPtr NewStmt::clone() const {
+  return withId(std::make_unique<NewStmt>(Target, ClassName), id());
+}
+
+StmtPtr NewArrayStmt::clone() const {
+  return withId(std::make_unique<NewArrayStmt>(Target, Size->clone()), id());
+}
+
+StmtPtr FieldReadStmt::clone() const {
+  return withId(std::make_unique<FieldReadStmt>(Target, Object, Field), id());
+}
+
+StmtPtr FieldWriteStmt::clone() const {
+  return withId(std::make_unique<FieldWriteStmt>(Object, Field,
+                                                 Value->clone()),
+                id());
+}
+
+StmtPtr ArrayReadStmt::clone() const {
+  return withId(std::make_unique<ArrayReadStmt>(Target, Array,
+                                                Index->clone()),
+                id());
+}
+
+StmtPtr ArrayWriteStmt::clone() const {
+  return withId(std::make_unique<ArrayWriteStmt>(Array, Index->clone(),
+                                                 Value->clone()),
+                id());
+}
+
+StmtPtr ArrayLenStmt::clone() const {
+  return withId(std::make_unique<ArrayLenStmt>(Target, Array), id());
+}
+
+StmtPtr CallStmt::clone() const {
+  return withId(std::make_unique<CallStmt>(Target, Receiver, Method,
+                                           cloneExprs(Args)),
+                id());
+}
+
+StmtPtr CheckStmt::clone() const {
+  return withId(std::make_unique<CheckStmt>(Paths), id());
+}
+
+StmtPtr ForkStmt::clone() const {
+  return withId(std::make_unique<ForkStmt>(Target, Receiver, Method,
+                                           cloneExprs(Args)),
+                id());
+}
+
+StmtPtr JoinStmt::clone() const {
+  return withId(std::make_unique<JoinStmt>(Handle), id());
+}
+
+StmtPtr NewBarrierStmt::clone() const {
+  return withId(std::make_unique<NewBarrierStmt>(Target, Parties->clone()),
+                id());
+}
+
+StmtPtr AwaitStmt::clone() const {
+  return withId(std::make_unique<AwaitStmt>(BarrierVar), id());
+}
+
+StmtPtr PrintStmt::clone() const {
+  return withId(std::make_unique<PrintStmt>(Value->clone()), id());
+}
+
+StmtPtr AssertStmtNode::clone() const {
+  return withId(std::make_unique<AssertStmtNode>(Cond->clone()), id());
+}

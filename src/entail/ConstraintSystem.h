@@ -1,0 +1,146 @@
+//===- ConstraintSystem.h - Entailment engine (Z3 stand-in) ----*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision procedure behind history/anticipated entailment (Section
+/// 3.4: H |- h and H•A |- a). The paper discharges these queries with Z3;
+/// the queries BigFoot actually emits are conjunctions of affine
+/// (in)equalities over locals plus heap alias expressions (Section 5), so
+/// a small dedicated engine decides them:
+///
+///  * a congruence closure over variables and alias terms (x = y.f,
+///    x = y[i]) handles designator equivalence, and
+///  * Fourier-Motzkin refutation over the affine facts proves equalities
+///    and inequalities (sound: the rational relaxation only ever proves
+///    valid integer facts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_ENTAIL_CONSTRAINTSYSTEM_H
+#define BIGFOOT_ENTAIL_CONSTRAINTSYSTEM_H
+
+#include "support/AffineExpr.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+/// A conjunction of facts plus queries against them. Build one, add the
+/// facts of a history context, then ask entailment questions. Queries are
+/// conservative: "false" means "not provable", never "disproved".
+class ConstraintSystem {
+public:
+  /// Adds the fact L == R.
+  void addEquality(const AffineExpr &L, const AffineExpr &R);
+
+  /// Adds the fact L <= R.
+  void addLe(const AffineExpr &L, const AffineExpr &R);
+
+  /// Adds the fact L < R (as L + 1 <= R; BFJ integers are mathematical).
+  void addLt(const AffineExpr &L, const AffineExpr &R) { addLe(L + 1, R); }
+
+  /// Adds the fact L != R. Disequalities do not feed the linear solver;
+  /// they only support proveNe.
+  void addNe(const AffineExpr &L, const AffineExpr &R);
+
+  /// Adds the fact E ≡ R (mod M). Congruences carry the divisibility
+  /// knowledge (e.g. "i is even") that strided-range alignment proofs
+  /// need; the paper obtains it from induction-variable trip counts.
+  void addCongruence(const AffineExpr &E, int64_t M, int64_t R);
+
+  /// Adds the heap alias fact X = Y.F (field read while race-free).
+  void addFieldAlias(const std::string &X, const std::string &Y,
+                     const std::string &F);
+
+  /// Adds the heap alias fact X = Y[Index].
+  void addArrayAlias(const std::string &X, const std::string &Y,
+                     const AffineExpr &Index);
+
+  /// True if the facts entail L == R.
+  bool proveEq(const AffineExpr &L, const AffineExpr &R);
+
+  /// True if the facts entail L <= R.
+  bool proveLe(const AffineExpr &L, const AffineExpr &R);
+
+  /// True if the facts entail L < R.
+  bool proveLt(const AffineExpr &L, const AffineExpr &R) {
+    return proveLe(L + 1, R);
+  }
+
+  /// True if the facts entail L != R (constant difference, a recorded
+  /// disequality, or a strict bound).
+  bool proveNe(const AffineExpr &L, const AffineExpr &R);
+
+  /// True if the facts entail E ≡ R (mod M). Reduces E with equality and
+  /// congruence facts until only a constant residue remains.
+  bool proveCongruent(const AffineExpr &E, int64_t M, int64_t R);
+
+  /// True if variables X and Y must denote the same value (congruence or
+  /// linear equality).
+  bool equivVars(const std::string &X, const std::string &Y);
+
+  /// True if the facts entail that range Sub (with literal stride) is a
+  /// subset of range Sup: Sup.Begin <= Sub.Begin, Sub.End <= Sup.End,
+  /// stride divisibility, and alignment — or Sub is provably empty.
+  bool proveRangeSubset(const SymbolicRange &Sub, const SymbolicRange &Sup);
+
+  /// True if the facts are *detectably* inconsistent (e.g. both branches
+  /// of an if added contradictory tests). Used to prune dead merge arms.
+  bool inconsistent();
+
+private:
+  struct Row {
+    std::map<std::string, int64_t> Terms;
+    int64_t Constant = 0; // Row means Terms + Constant <= 0.
+  };
+
+  std::vector<std::pair<AffineExpr, AffineExpr>> Equalities;
+  std::vector<std::pair<AffineExpr, AffineExpr>> LeFacts;
+  std::vector<std::pair<AffineExpr, AffineExpr>> NeFacts;
+
+  struct CongFact {
+    AffineExpr E;
+    int64_t Mod = 1;
+    int64_t Rem = 0;
+  };
+  std::vector<CongFact> CongFacts;
+
+  struct AliasFact {
+    std::string X;
+    std::string Key; // "f#<field>#<base>" or "a#<base>#<index-str>".
+    std::string Base;
+    bool IsArray = false;
+    std::string Field;
+    AffineExpr Index;
+  };
+  std::vector<AliasFact> Aliases;
+
+  /// Union-find over variable / alias-term names, rebuilt lazily.
+  std::map<std::string, std::string> Parent;
+  bool ClosureDirty = true;
+
+  std::string find(const std::string &Name);
+  void unite(const std::string &A, const std::string &B);
+  void rebuildClosure();
+
+  /// Rewrites every variable to its congruence representative.
+  AffineExpr canonicalize(const AffineExpr &E);
+
+  /// Builds the base FM rows (facts only, canonicalized).
+  std::vector<Row> baseRows();
+
+  /// True if Rows (plus the negated goal row) are infeasible.
+  static bool refute(std::vector<Row> Rows);
+
+  static Row rowFromLe(const AffineExpr &L, const AffineExpr &R);
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_ENTAIL_CONSTRAINTSYSTEM_H

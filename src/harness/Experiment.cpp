@@ -1,0 +1,164 @@
+//===- Experiment.cpp - The Section 6 experiment driver ---------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "bfj/Parser.h"
+#include "instrument/Instrumenters.h"
+#include "support/Timer.h"
+#include "vm/Vm.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace bigfoot;
+
+const ToolMetrics &ExperimentResult::tool(const std::string &Name) const {
+  for (const ToolMetrics &M : Tools)
+    if (M.Tool == Name)
+      return M;
+  std::fprintf(stderr, "no metrics for tool '%s'\n", Name.c_str());
+  std::abort();
+}
+
+namespace {
+
+/// Best-of-N timed run; returns the last VmResult (all runs are
+/// deterministic given the seed, so any result is representative).
+template <typename RunFn>
+std::pair<double, VmResult> timedBest(int Iterations, RunFn Run) {
+  double Best = 1e100;
+  VmResult Last;
+  for (int I = 0; I < Iterations; ++I) {
+    Timer T;
+    Last = Run();
+    double Sec = T.seconds();
+    if (Sec < Best)
+      Best = Sec;
+    if (!Last.Ok)
+      break;
+  }
+  return {Best, std::move(Last)};
+}
+
+} // namespace
+
+ExperimentResult bigfoot::runExperiment(const Workload &W,
+                                        const ExperimentOptions &Opts) {
+  ExperimentResult Out;
+  Out.Workload = W.Name;
+
+  ParseResult PR = parseProgram(W.Source);
+  if (!PR.ok()) {
+    std::fprintf(stderr, "workload %s failed to parse: %s\n",
+                 W.Name.c_str(), PR.Error.c_str());
+    std::abort();
+  }
+  const Program &Prog = *PR.Prog;
+
+  VmOptions VmOpts;
+  VmOpts.Seed = Opts.Seed;
+
+  // Base (uninstrumented) run.
+  auto [BaseSec, BaseRun] = timedBest(Opts.Iterations, [&Prog, &VmOpts] {
+    return runProgramBase(Prog, VmOpts);
+  });
+  if (!BaseRun.Ok) {
+    std::fprintf(stderr, "workload %s failed: %s\n", W.Name.c_str(),
+                 BaseRun.Error.c_str());
+    std::abort();
+  }
+  Out.BaseSeconds = BaseSec;
+  Out.Accesses = BaseRun.Counters.get("vm.accesses");
+  Out.FieldAccesses = BaseRun.Counters.get("vm.accesses.field");
+  Out.ArrayAccesses = BaseRun.Counters.get("vm.accesses.array");
+  Out.BaseHeapBytes = BaseRun.Counters.get("vm.heapBytes");
+
+  // Instrument once per tool, measuring BigFoot's analysis time.
+  std::vector<InstrumentedProgram> All;
+  All.push_back(instrumentFastTrack(Prog));
+  All.push_back(instrumentRedCard(Prog));
+  All.push_back(instrumentSlimState(Prog));
+  All.push_back(instrumentSlimCard(Prog));
+  All.push_back(instrumentBigFoot(Prog));
+  // Extra baseline beyond the paper's five: DJIT+ (vector clocks
+  // everywhere) on the per-access placement.
+  {
+    InstrumentedProgram Djit = instrumentFastTrack(Prog);
+    Djit.Tool = djitConfig();
+    All.push_back(std::move(Djit));
+  }
+  Out.StaticSeconds = All[4].Placement.AnalysisSeconds;
+  Out.MethodsProcessed = All[4].Placement.MethodsProcessed;
+  Out.BigFootChecks = All[4].Placement.ChecksInserted;
+
+  for (InstrumentedProgram &IP : All) {
+    auto [ToolSec, Run] = timedBest(Opts.Iterations, [&IP, &VmOpts] {
+      return runProgram(*IP.Prog, IP.Tool, VmOpts);
+    });
+    if (!Run.Ok) {
+      std::fprintf(stderr, "workload %s under %s failed: %s\n",
+                   W.Name.c_str(), IP.Tool.Name.c_str(),
+                   Run.Error.c_str());
+      std::abort();
+    }
+    ToolMetrics M;
+    M.Tool = IP.Tool.Name;
+    M.Seconds = ToolSec;
+    M.OverheadX = Out.BaseSeconds > 0
+                      ? (ToolSec - Out.BaseSeconds) / Out.BaseSeconds
+                      : 0;
+    uint64_t FieldEvents = Run.Counters.get("tool.checkEvents.field");
+    uint64_t ArrayEvents = Run.Counters.get("tool.checkEvents.array");
+    uint64_t Accesses = Run.Counters.get("vm.accesses");
+    if (Accesses > 0) {
+      M.CheckRatio =
+          static_cast<double>(FieldEvents + ArrayEvents) / Accesses;
+      M.FieldCheckRatio = static_cast<double>(FieldEvents) / Accesses;
+      M.ArrayCheckRatio = static_cast<double>(ArrayEvents) / Accesses;
+    }
+    M.ShadowOps = Run.Counters.get("tool.shadowOps");
+    M.Races = Run.Counters.get("tool.races");
+    M.PeakShadowBytes = Run.Counters.get("tool.peakShadowBytes");
+    M.PeakShadowLocations = Run.Counters.get("tool.peakShadowLocations");
+    Out.Tools.push_back(std::move(M));
+  }
+  return Out;
+}
+
+std::vector<ExperimentResult>
+bigfoot::runSuite(SuiteScale Scale, const ExperimentOptions &Opts) {
+  std::vector<ExperimentResult> Out;
+  for (const Workload &W : standardSuite(Scale))
+    Out.push_back(runExperiment(W, Opts));
+  return Out;
+}
+
+double bigfoot::geomeanOverhead(const std::vector<double> &Overheads) {
+  if (Overheads.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Overheads)
+    LogSum += std::log(V > 0.001 ? V : 0.001);
+  return std::exp(LogSum / static_cast<double>(Overheads.size()));
+}
+
+BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
+  BenchArgs Args;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--small") == 0)
+      Args.Scale = SuiteScale::Test;
+    else if (std::strncmp(Argv[I], "--iters=", 8) == 0)
+      Args.Opts.Iterations = std::atoi(Argv[I] + 8);
+    else if (std::strncmp(Argv[I], "--seed=", 7) == 0)
+      Args.Opts.Seed = static_cast<uint64_t>(std::atoll(Argv[I] + 7));
+  }
+  if (Args.Opts.Iterations < 1)
+    Args.Opts.Iterations = 1;
+  return Args;
+}

@@ -1,0 +1,90 @@
+//===- Experiment.h - The Section 6 experiment driver -----------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs (workload × detector) experiments and gathers the measurements
+/// behind Table 1, Table 2, Figure 2, and Figure 8: check ratios (check
+/// events / heap accesses, split by fields and arrays), wall-clock
+/// overhead over the uninstrumented base run, peak shadow memory, and
+/// StaticBF analysis time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_HARNESS_EXPERIMENT_H
+#define BIGFOOT_HARNESS_EXPERIMENT_H
+
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+/// Per-detector measurements on one workload.
+struct ToolMetrics {
+  std::string Tool;
+  double CheckRatio = 0;      ///< check events / heap accesses.
+  double FieldCheckRatio = 0; ///< field check events / heap accesses.
+  double ArrayCheckRatio = 0; ///< array check events / heap accesses.
+  double Seconds = 0;         ///< best-of-N instrumented run time.
+  double OverheadX = 0;       ///< (Seconds - Base) / Base.
+  uint64_t ShadowOps = 0;
+  uint64_t Races = 0;
+  uint64_t PeakShadowBytes = 0;
+  uint64_t PeakShadowLocations = 0;
+};
+
+/// All measurements for one workload.
+struct ExperimentResult {
+  std::string Workload;
+  double BaseSeconds = 0;
+  uint64_t Accesses = 0;
+  uint64_t FieldAccesses = 0;
+  uint64_t ArrayAccesses = 0;
+  uint64_t BaseHeapBytes = 0;
+  double StaticSeconds = 0;   ///< BigFoot placement time.
+  unsigned MethodsProcessed = 0;
+  unsigned BigFootChecks = 0; ///< check statements BigFoot materialized.
+  std::vector<ToolMetrics> Tools; ///< fasttrack, redcard, slimstate,
+                                  ///< slimcard, bigfoot, djit — in that
+                                  ///< order (djit is an extra baseline).
+
+  const ToolMetrics &tool(const std::string &Name) const;
+};
+
+/// Experiment knobs.
+struct ExperimentOptions {
+  int Iterations = 3; ///< Timed repetitions; the minimum is reported.
+  uint64_t Seed = 1;
+};
+
+/// Runs all five detectors (plus the base) on one workload.
+ExperimentResult runExperiment(const Workload &W,
+                               const ExperimentOptions &Opts =
+                                   ExperimentOptions());
+
+/// Runs the whole suite.
+std::vector<ExperimentResult>
+runSuite(SuiteScale Scale,
+         const ExperimentOptions &Opts = ExperimentOptions());
+
+/// Geometric mean of (1 + overhead) minus 1... the paper reports geomean
+/// of overheads directly; zero/negative overheads are clamped to a small
+/// positive epsilon as is conventional.
+double geomeanOverhead(const std::vector<double> &Overheads);
+
+/// Parses --small/--iters=N command-line options shared by the bench
+/// binaries.
+struct BenchArgs {
+  SuiteScale Scale = SuiteScale::Bench;
+  ExperimentOptions Opts;
+};
+BenchArgs parseBenchArgs(int Argc, char **Argv);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_HARNESS_EXPERIMENT_H

@@ -1,0 +1,53 @@
+//===- Instrumenters.h - Check placement for all five tools -----*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Produces the instrumented program each detector runs (Figure 2's
+/// placement column):
+///
+///   FastTrack  — a check immediately before every heap access,
+///   RedCard    — per-access checks minus statically redundant ones
+///                (already checked in the same release-free span), plus
+///                static field proxies,
+///   SlimState  — FastTrack placement (its compression is dynamic),
+///   SlimCard   — RedCard placement + SlimState runtime,
+///   BigFoot    — the full Section 3 check motion and coalescing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_INSTRUMENT_INSTRUMENTERS_H
+#define BIGFOOT_INSTRUMENT_INSTRUMENTERS_H
+
+#include "analysis/CheckPlacement.h"
+#include "bfj/Program.h"
+#include "runtime/Detector.h"
+
+#include <memory>
+
+namespace bigfoot {
+
+/// An instrumented program plus the detector configuration that matches
+/// its placement.
+struct InstrumentedProgram {
+  std::unique_ptr<Program> Prog;
+  DetectorConfig Tool;
+  PlacementStats Placement; ///< Meaningful for BigFoot; partial otherwise.
+};
+
+InstrumentedProgram instrumentFastTrack(const Program &P);
+InstrumentedProgram instrumentRedCard(const Program &P);
+InstrumentedProgram instrumentSlimState(const Program &P);
+InstrumentedProgram instrumentSlimCard(const Program &P);
+InstrumentedProgram
+instrumentBigFoot(const Program &P,
+                  const PlacementOptions &Opts = PlacementOptions());
+
+/// All five, keyed by tool name, for the experiment harness.
+std::vector<InstrumentedProgram> instrumentAll(const Program &P);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_INSTRUMENT_INSTRUMENTERS_H

@@ -1,0 +1,217 @@
+//===- ArrayShadow.cpp - Adaptive compressed array shadow ------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArrayShadow.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bigfoot;
+
+ArrayShadow::ArrayShadow(int64_t Length, bool Adaptive, bool VcOnly)
+    : Length(Length < 0 ? 0 : Length) {
+  if (Adaptive && this->Length > 1) {
+    Coarse = true;
+    States.resize(1);
+  } else {
+    Fine = true;
+    States.resize(static_cast<size_t>(this->Length));
+  }
+  if (VcOnly)
+    for (FastTrackState &S : States)
+      S.forceVectorClocks();
+  // Refinements copy existing states, so VC-ness propagates on splits.
+}
+
+ArrayShadow::Mode ArrayShadow::mode() const {
+  if (Coarse)
+    return Mode::Coarse;
+  if (Fine)
+    return Mode::Fine;
+  return StrideK == 1 ? Mode::Segments : Mode::Strided;
+}
+
+void ArrayShadow::toFine() {
+  if (Fine)
+    return;
+  std::vector<FastTrackState> FineStates(static_cast<size_t>(Length));
+  if (Coarse) {
+    for (auto &S : FineStates)
+      S = States[0];
+  } else {
+    for (size_t Seg = 0; Seg + 1 < Bounds.size(); ++Seg)
+      for (int64_t I = Bounds[Seg]; I < Bounds[Seg + 1]; ++I)
+        FineStates[static_cast<size_t>(I)] =
+            States[Seg * static_cast<size_t>(StrideK) +
+                   static_cast<size_t>(I % StrideK)];
+  }
+  States = std::move(FineStates);
+  Bounds.clear();
+  StrideK = 1;
+  Coarse = false;
+  Fine = true;
+}
+
+void ArrayShadow::toGrid(int64_t K) {
+  assert(Coarse && "grids grow out of coarse mode");
+  assert(K >= 1);
+  std::vector<FastTrackState> Grid(static_cast<size_t>(K));
+  for (auto &S : Grid)
+    S = States[0];
+  States = std::move(Grid);
+  Bounds = {0, Length};
+  StrideK = K;
+  Coarse = false;
+}
+
+bool ArrayShadow::splitAt(int64_t At, ShadowOpResult &Result) {
+  if (At <= 0 || At >= Length)
+    return true;
+  assert(At % StrideK == 0 && "split points are stride-aligned");
+  auto It = std::lower_bound(Bounds.begin(), Bounds.end(), At);
+  if (It != Bounds.end() && *It == At)
+    return true;
+  if (States.size() + static_cast<size_t>(StrideK) > MaxGridStates)
+    return false;
+  size_t Seg = static_cast<size_t>(It - Bounds.begin()) - 1;
+  Bounds.insert(It, At);
+  // Duplicate the segment's class states for the new right half.
+  size_t Base = Seg * static_cast<size_t>(StrideK);
+  std::vector<FastTrackState> Copy(
+      States.begin() + static_cast<ptrdiff_t>(Base),
+      States.begin() +
+          static_cast<ptrdiff_t>(Base + static_cast<size_t>(StrideK)));
+  States.insert(
+      States.begin() +
+          static_cast<ptrdiff_t>(Base + static_cast<size_t>(StrideK)),
+      Copy.begin(), Copy.end());
+  ++Result.Refinements;
+  return true;
+}
+
+ShadowOpResult ArrayShadow::reapply(const StridedRange &R, AccessKind K,
+                                    ThreadId T, const VectorClock &C,
+                                    ShadowOpResult Result) {
+  ShadowOpResult Rec = apply(R, K, T, C);
+  Result.ShadowOps += Rec.ShadowOps;
+  Result.Refinements += Rec.Refinements;
+  Result.Races.insert(Result.Races.end(), Rec.Races.begin(),
+                      Rec.Races.end());
+  return Result;
+}
+
+void ArrayShadow::opOn(FastTrackState &State, AccessKind K, ThreadId T,
+                       const VectorClock &C, ShadowOpResult &Result) {
+  ++Result.ShadowOps;
+  std::optional<RaceInfo> Race =
+      K == AccessKind::Read ? State.onRead(T, C) : State.onWrite(T, C);
+  if (Race)
+    Result.Races.push_back(*Race);
+}
+
+ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
+                                  ThreadId T, const VectorClock &C) {
+  ShadowOpResult Result;
+  if (R.empty() || Length == 0)
+    return Result;
+  // Clip to the array bounds, preserving the stride phase (the begin only
+  // advances in whole strides).
+  int64_t B = R.begin();
+  if (B < 0)
+    B += ((-B + R.stride() - 1) / R.stride()) * R.stride();
+  StridedRange Clipped(B, std::min<int64_t>(R.end(), Length), R.stride());
+  if (Clipped.empty())
+    return Result;
+
+  if (Coarse) {
+    if (isWhole(Clipped)) {
+      opOn(States[0], K, T, C, Result);
+      return Result;
+    }
+    ++Result.Refinements;
+    toGrid(Clipped.stride());
+    return reapply(Clipped, K, T, C, std::move(Result));
+  }
+
+  if (Fine) {
+    for (int64_t I = Clipped.begin(); I < Clipped.end();
+         I += Clipped.stride())
+      opOn(States[static_cast<size_t>(I)], K, T, C, Result);
+    return Result;
+  }
+
+  // Grid mode: segments × residue classes mod StrideK.
+  const int64_t GK = StrideK;
+  auto AlignDown = [GK](int64_t X) { return X - (X % GK); };
+  auto AlignUp = [GK](int64_t X) { return ((X + GK - 1) / GK) * GK; };
+
+  if (Clipped.stride() == GK) {
+    // The range covers exactly the class-r elements of the aligned span
+    // [SpanLo, SpanHi): one op per covered segment.
+    int64_t Last = Clipped.begin() + (Clipped.size() - 1) * GK;
+    int64_t SpanLo = AlignDown(Clipped.begin());
+    int64_t SpanHi = std::min(AlignUp(Last + 1), Length);
+    // If no class-r element exists in [SpanHi, Length), extending the
+    // span to the end is exact and avoids a pointless split.
+    int64_t ClassR = Clipped.begin() % GK;
+    int64_t NextClassElem = SpanHi + ((ClassR - SpanHi) % GK + GK) % GK;
+    if (NextClassElem >= Length)
+      SpanHi = Length;
+    if (!splitAt(SpanLo, Result) || !splitAt(SpanHi, Result)) {
+      ++Result.Refinements;
+      toFine();
+      return reapply(Clipped, K, T, C, std::move(Result));
+    }
+    size_t Class = static_cast<size_t>(Clipped.begin() % GK);
+    for (size_t Seg = 0; Seg + 1 < Bounds.size(); ++Seg) {
+      if (Bounds[Seg] < SpanLo || Bounds[Seg + 1] > SpanHi)
+        continue;
+      // Skip segments whose class-r slice is empty (ragged tail).
+      if (Bounds[Seg] + static_cast<int64_t>(Class) >= Bounds[Seg + 1])
+        continue;
+      opOn(States[Seg * static_cast<size_t>(GK) + Class], K, T, C, Result);
+    }
+    return Result;
+  }
+
+  if (Clipped.stride() == 1 && GK > 1) {
+    // A unit range over a strided grid is exact only when it covers whole
+    // stride-aligned windows: then it touches every class of the covered
+    // segments.
+    bool Aligned = Clipped.begin() % GK == 0 &&
+                   (Clipped.end() % GK == 0 || Clipped.end() == Length);
+    if (Aligned && splitAt(Clipped.begin(), Result) &&
+        splitAt(std::min(AlignUp(Clipped.end()), Length), Result)) {
+      for (size_t Seg = 0; Seg + 1 < Bounds.size(); ++Seg) {
+        if (Bounds[Seg] < Clipped.begin() || Bounds[Seg + 1] > Clipped.end())
+          continue;
+        for (int64_t Cls = 0; Cls < GK; ++Cls) {
+          if (Bounds[Seg] + Cls >= Bounds[Seg + 1])
+            continue;
+          opOn(States[Seg * static_cast<size_t>(GK) +
+                      static_cast<size_t>(Cls)],
+               K, T, C, Result);
+        }
+      }
+      return Result;
+    }
+    ++Result.Refinements;
+    toFine();
+    return reapply(Clipped, K, T, C, std::move(Result));
+  }
+
+  // Any other stride mismatch: no compressed representation fits.
+  ++Result.Refinements;
+  toFine();
+  return reapply(Clipped, K, T, C, std::move(Result));
+}
+
+size_t ArrayShadow::memoryBytes() const {
+  size_t Bytes = sizeof(ArrayShadow) + Bounds.size() * sizeof(int64_t);
+  for (const FastTrackState &S : States)
+    Bytes += S.memoryBytes();
+  return Bytes;
+}

@@ -1,0 +1,104 @@
+//===- ArrayShadow.h - Adaptive compressed array shadow ---------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptively compressed array shadow representation of Section 4,
+/// after SlimState [ASE'15]. An array starts as one coarse shadow
+/// location covering every element and is refined when a committed check
+/// is inconsistent with the current representation. The refined form is a
+/// two-level grid: contiguous segments × residue classes mod K, which
+/// covers the common block (K = 1), strided (one segment), and
+/// block-strided (sor's per-worker red/black chunks) patterns with one
+/// location per (segment, class). Patternless access falls back to one
+/// location per element.
+///
+/// Refinement copies the covering location's state into each finer
+/// location, which preserves the recorded access history exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_RUNTIME_ARRAYSHADOW_H
+#define BIGFOOT_RUNTIME_ARRAYSHADOW_H
+
+#include "bfj/Path.h"
+#include "runtime/FastTrackState.h"
+#include "support/StridedRange.h"
+
+#include <vector>
+
+namespace bigfoot {
+
+/// Result of applying one range check to an array shadow.
+struct ShadowOpResult {
+  unsigned ShadowOps = 0;    ///< Location check-and-update operations.
+  unsigned Refinements = 0;  ///< Representation changes triggered.
+  std::vector<RaceInfo> Races;
+};
+
+/// The shadow state of one array.
+class ArrayShadow {
+public:
+  /// Coarse: one location. Segments: grid with stride 1. Strided: grid
+  /// with stride > 1 (one or more segments). Fine: one location per
+  /// element.
+  enum class Mode { Coarse, Segments, Strided, Fine };
+
+  /// \p Length is the array length; \p Adaptive false forces Fine mode
+  /// from the start (the representation FastTrack and RedCard use).
+  /// \p VcOnly puts every location in DJIT+ vector-clock mode.
+  ArrayShadow(int64_t Length, bool Adaptive, bool VcOnly = false);
+
+  /// Applies a read/write check over \p R for thread \p T with clock \p C,
+  /// refining the representation when \p R does not fit it.
+  ShadowOpResult apply(const StridedRange &R, AccessKind K, ThreadId T,
+                       const VectorClock &C);
+
+  Mode mode() const;
+
+  /// Number of live shadow locations.
+  size_t locationCount() const { return States.size(); }
+
+  /// Approximate footprint in bytes.
+  size_t memoryBytes() const;
+
+private:
+  int64_t Length;
+  bool Coarse = false; ///< Single location covering everything.
+  bool Fine = false;   ///< One location per element.
+  /// Grid representation (when neither Coarse nor Fine): segments are
+  /// [Bounds[i], Bounds[i+1]) with interior bounds aligned to StrideK;
+  /// each segment holds StrideK residue-class locations, stored at
+  /// States[Seg * StrideK + Class].
+  std::vector<int64_t> Bounds;
+  int64_t StrideK = 1;
+  std::vector<FastTrackState> States;
+
+  static constexpr size_t MaxGridStates = 256;
+
+  void toFine();
+  /// Converts Coarse into a one-segment grid with stride \p K.
+  void toGrid(int64_t K);
+  /// Splits the grid segment containing \p At (which must be aligned to
+  /// StrideK or be inside the last ragged segment). Returns false when
+  /// the state budget is exhausted.
+  bool splitAt(int64_t At, ShadowOpResult &Result);
+
+  bool isWhole(const StridedRange &R) const {
+    return R.stride() == 1 && R.begin() <= 0 && R.end() >= Length;
+  }
+
+  void opOn(FastTrackState &State, AccessKind K, ThreadId T,
+            const VectorClock &C, ShadowOpResult &Result);
+
+  /// Re-runs apply after a representation change, folding the recursive
+  /// result into \p Result.
+  ShadowOpResult reapply(const StridedRange &R, AccessKind K, ThreadId T,
+                         const VectorClock &C, ShadowOpResult Result);
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_RUNTIME_ARRAYSHADOW_H

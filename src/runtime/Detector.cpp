@@ -1,0 +1,286 @@
+//===- Detector.cpp - The DynamicBF race detector family -------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Detector.h"
+
+#include <cassert>
+
+using namespace bigfoot;
+
+std::string ReportedRace::str() const {
+  std::string Where = OnArray
+                          ? "arr#" + std::to_string(Id) + Range.str()
+                          : "obj#" + std::to_string(Id) + "." + Field;
+  const char *KindText = Kind == RaceKind::WriteWrite  ? "write-write"
+                         : Kind == RaceKind::WriteRead ? "write-read"
+                                                       : "read-write";
+  return std::string(KindText) + " race on " + Where + " (" + Prev.str() +
+         " vs " + Cur.str() + ")";
+}
+
+ArrayShadow &RaceDetector::shadowFor(ObjectId Arr) {
+  auto It = Arrays.find(Arr);
+  if (It == Arrays.end()) {
+    // Allocation event missed (e.g. array created before the tool was
+    // attached): fall back to an empty array; onArrayAlloc normally runs
+    // first.
+    It = Arrays
+             .emplace(Arr, ArrayShadow(0, Config.AdaptiveArrayShadow,
+                                       Config.VectorClocksOnly))
+             .first;
+  }
+  return It->second;
+}
+
+void RaceDetector::onArrayAlloc(ObjectId Arr, int64_t Length) {
+  Arrays.emplace(Arr, ArrayShadow(Length, Config.AdaptiveArrayShadow,
+                                  Config.VectorClocksOnly));
+}
+
+void RaceDetector::report(const ReportedRace &Race) {
+  std::string Key =
+      (Race.OnArray ? "a" : "o") + std::to_string(Race.Id) + "/" +
+      (Race.OnArray ? Race.Range.str() : Race.Field);
+  if (!RaceKeys.insert(Key).second)
+    return;
+  Races.push_back(Race);
+  Counters.bump("tool.races");
+}
+
+void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
+                               const std::vector<std::string> &Fields,
+                               AccessKind K) {
+  Counters.bump("tool.checkEvents.field");
+  const VectorClock &C = Hb.clockOf(T);
+  // Map fields through the proxy table and deduplicate: a coalesced check
+  // on a fully compressed group performs a single shadow operation.
+  std::set<std::string> Reps;
+  for (const std::string &F : Fields) {
+    auto It = Config.FieldProxy.find(F);
+    Reps.insert(It == Config.FieldProxy.end() ? F : It->second);
+  }
+  for (const std::string &Rep : Reps) {
+    Counters.bump("tool.shadowOps");
+    FastTrackState &State = FieldShadow[{Obj, Rep}];
+    if (Config.VectorClocksOnly)
+      State.forceVectorClocks();
+    std::optional<RaceInfo> Race =
+        K == AccessKind::Read ? State.onRead(T, C) : State.onWrite(T, C);
+    if (Race) {
+      ReportedRace R;
+      R.Kind = Race->Kind;
+      R.OnArray = false;
+      R.Id = Obj;
+      R.Field = Rep;
+      R.Prev = Race->Prev;
+      R.Cur = Race->Cur;
+      report(R);
+    }
+  }
+}
+
+void RaceDetector::applyArray(ThreadId T, ObjectId Arr,
+                              const StridedRange &R, AccessKind K) {
+  ShadowOpResult Result = shadowFor(Arr).apply(R, K, T, Hb.clockOf(T));
+  Counters.bump("tool.shadowOps", Result.ShadowOps);
+  Counters.bump("tool.refinements", Result.Refinements);
+  for (const RaceInfo &Race : Result.Races) {
+    ReportedRace Rep;
+    Rep.Kind = Race.Kind;
+    Rep.OnArray = true;
+    Rep.Id = Arr;
+    Rep.Range = R;
+    Rep.Prev = Race.Prev;
+    Rep.Cur = Race.Cur;
+    report(Rep);
+  }
+}
+
+void RaceDetector::checkArrayRange(ThreadId T, ObjectId Arr,
+                                   const StridedRange &R, AccessKind K) {
+  Counters.bump("tool.checkEvents.array");
+  if (!Config.DeferArrayChecks) {
+    applyArray(T, Arr, R, K);
+    return;
+  }
+  // Footprinting: defer to the next synchronization operation (Section 4).
+  Footprint &FP = Pending[{T, Arr}];
+  (K == AccessKind::Read ? FP.Reads : FP.Writes).add(R);
+  Counters.bump("tool.footprintAdds");
+  // Scattered access patterns can fragment a footprint without bound;
+  // committing early is always sound (the checks stay inside the same
+  // release-free span) and keeps footprint maintenance linear.
+  if (FP.Reads.fragments() + FP.Writes.fragments() > 32) {
+    for (const StridedRange &Range : FP.Writes.ranges())
+      applyArray(T, Arr, Range, AccessKind::Write);
+    for (const StridedRange &Range : FP.Reads.ranges())
+      applyArray(T, Arr, Range, AccessKind::Read);
+    FP.Reads.clear();
+    FP.Writes.clear();
+    Counters.bump("tool.earlyCommits");
+  }
+}
+
+void RaceDetector::commitFootprints(ThreadId T) {
+  if (!Config.DeferArrayChecks)
+    return;
+  // Collect this thread's pending arrays (map is keyed (tid, array)).
+  auto It = Pending.lower_bound({T, 0});
+  while (It != Pending.end() && It->first.first == T) {
+    ObjectId Arr = It->first.second;
+    // Writes first: a write subsumes a read of the same element.
+    for (const StridedRange &R : It->second.Writes.ranges())
+      applyArray(T, Arr, R, AccessKind::Write);
+    for (const StridedRange &R : It->second.Reads.ranges())
+      applyArray(T, Arr, R, AccessKind::Read);
+    Counters.bump("tool.commits");
+    It = Pending.erase(It);
+  }
+}
+
+void RaceDetector::onAcquire(ThreadId T, ObjectId Lock) {
+  commitFootprints(T);
+  Hb.onAcquire(T, Lock);
+  sampleMemory();
+}
+
+void RaceDetector::onRelease(ThreadId T, ObjectId Lock) {
+  commitFootprints(T);
+  Hb.onRelease(T, Lock);
+}
+
+void RaceDetector::onVolatileRead(ThreadId T, ObjectId Obj,
+                                  const std::string &Field) {
+  commitFootprints(T);
+  Hb.onVolatileRead(T, Obj, Field);
+}
+
+void RaceDetector::onVolatileWrite(ThreadId T, ObjectId Obj,
+                                   const std::string &Field) {
+  commitFootprints(T);
+  Hb.onVolatileWrite(T, Obj, Field);
+}
+
+void RaceDetector::onFork(ThreadId Parent, ThreadId Child) {
+  commitFootprints(Parent);
+  Hb.onFork(Parent, Child);
+}
+
+void RaceDetector::onJoin(ThreadId Joiner, ThreadId Joined) {
+  commitFootprints(Joiner);
+  Hb.onJoin(Joiner, Joined);
+}
+
+void RaceDetector::onBarrier(const std::vector<ThreadId> &Parties) {
+  for (ThreadId T : Parties)
+    commitFootprints(T);
+  Hb.onBarrier(Parties);
+  sampleMemory();
+}
+
+void RaceDetector::onThreadExit(ThreadId T) {
+  commitFootprints(T);
+  Hb.onThreadExit(T);
+  sampleMemoryNow();
+}
+
+std::set<std::string> RaceDetector::racyLocationKeys() const {
+  std::set<std::string> Keys;
+  for (const ReportedRace &R : Races) {
+    if (R.OnArray)
+      Keys.insert("arr#" + std::to_string(R.Id));
+    else
+      Keys.insert("obj#" + std::to_string(R.Id) + "." + R.Field);
+  }
+  return Keys;
+}
+
+size_t RaceDetector::shadowBytes() const {
+  size_t Bytes = Hb.memoryBytes();
+  for (const auto &[Key, State] : FieldShadow)
+    Bytes += sizeof(Key) + State.memoryBytes();
+  for (const auto &[Id, Shadow] : Arrays)
+    Bytes += Shadow.memoryBytes();
+  for (const auto &[Key, FP] : Pending)
+    Bytes += sizeof(Key) +
+             (FP.Reads.fragments() + FP.Writes.fragments()) *
+                 sizeof(StridedRange);
+  return Bytes;
+}
+
+size_t RaceDetector::shadowLocationCount() const {
+  size_t N = FieldShadow.size();
+  for (const auto &[Id, Shadow] : Arrays)
+    N += Shadow.locationCount();
+  return N;
+}
+
+void RaceDetector::sampleMemory() {
+  // The census walks all shadow state; sample sparsely so sync-heavy
+  // programs are not dominated by bookkeeping (RoadRunner samples on a
+  // timer for the same reason).
+  if (++MemorySampleTick % 64 != 1)
+    return;
+  sampleMemoryNow();
+}
+
+void RaceDetector::sampleMemoryNow() {
+  Counters.gaugeMax("tool.peakShadowBytes", shadowBytes());
+  Counters.gaugeMax("tool.peakShadowLocations", shadowLocationCount());
+}
+
+//===----------------------------------------------------------------------===
+// Named configurations.
+//===----------------------------------------------------------------------===
+
+DetectorConfig bigfoot::fastTrackConfig() {
+  DetectorConfig C;
+  C.Name = "fasttrack";
+  return C;
+}
+
+DetectorConfig bigfoot::djitConfig() {
+  DetectorConfig C;
+  C.Name = "djit";
+  C.VectorClocksOnly = true;
+  return C;
+}
+
+DetectorConfig
+bigfoot::redCardConfig(std::map<std::string, std::string> Proxies) {
+  DetectorConfig C;
+  C.Name = "redcard";
+  C.FieldProxy = std::move(Proxies);
+  return C;
+}
+
+DetectorConfig bigfoot::slimStateConfig() {
+  DetectorConfig C;
+  C.Name = "slimstate";
+  C.DeferArrayChecks = true;
+  C.AdaptiveArrayShadow = true;
+  return C;
+}
+
+DetectorConfig
+bigfoot::slimCardConfig(std::map<std::string, std::string> Proxies) {
+  DetectorConfig C;
+  C.Name = "slimcard";
+  C.DeferArrayChecks = true;
+  C.AdaptiveArrayShadow = true;
+  C.FieldProxy = std::move(Proxies);
+  return C;
+}
+
+DetectorConfig
+bigfoot::bigFootConfig(std::map<std::string, std::string> Proxies) {
+  DetectorConfig C;
+  C.Name = "bigfoot";
+  C.DeferArrayChecks = true;
+  C.AdaptiveArrayShadow = true;
+  C.FieldProxy = std::move(Proxies);
+  return C;
+}

@@ -1,0 +1,164 @@
+//===- Detector.h - The DynamicBF race detector family ----------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One configurable dynamic race detector covering all five tools the
+/// paper evaluates. They share the FastTrack core and differ in three
+/// switches (Figure 2):
+///
+///   * DeferArrayChecks — per-thread footprints committed at the next
+///     synchronization operation (SlimState, SlimCard, BigFoot),
+///   * AdaptiveArrayShadow — compressed array representations (ditto),
+///   * FieldProxy — static field-group compression for object shadow
+///     locations (RedCard, SlimCard, BigFoot).
+///
+/// Check placement (which checks arrive here at all) is the instrumenter's
+/// job; see src/instrument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_RUNTIME_DETECTOR_H
+#define BIGFOOT_RUNTIME_DETECTOR_H
+
+#include "runtime/ArrayShadow.h"
+#include "runtime/HbState.h"
+#include "support/Stats.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+/// Detector configuration; the five named tools are factory functions
+/// below.
+struct DetectorConfig {
+  std::string Name = "fasttrack";
+  bool DeferArrayChecks = false;
+  bool AdaptiveArrayShadow = false;
+  /// DJIT+ mode: full vector clocks per shadow location instead of
+  /// FastTrack's adaptive epochs (an extra baseline beyond the paper's
+  /// five tools; DJIT+ is their shared ancestor).
+  bool VectorClocksOnly = false;
+  /// field -> proxy-group representative; empty means one shadow location
+  /// per field.
+  std::map<std::string, std::string> FieldProxy;
+};
+
+/// A reported race, deduplicated per shadow location.
+struct ReportedRace {
+  RaceKind Kind;
+  bool OnArray = false;
+  ObjectId Id = 0;
+  std::string Field;       ///< Field (or proxy representative) for objects.
+  StridedRange Range;      ///< Checked range for arrays.
+  Epoch Prev, Cur;
+
+  std::string str() const;
+};
+
+/// The detector. The host VM feeds it check events and synchronization
+/// events; it updates shadow state and accumulates race reports and
+/// counters.
+class RaceDetector {
+public:
+  RaceDetector(DetectorConfig Config, Stats &Counters)
+      : Config(std::move(Config)), Counters(Counters) {}
+
+  const DetectorConfig &config() const { return Config; }
+
+  //===--- Check events ------------------------------------------------------
+  /// A (possibly coalesced) field check on fields \p Fields of \p Obj.
+  void checkFields(ThreadId T, ObjectId Obj,
+                   const std::vector<std::string> &Fields, AccessKind K);
+
+  /// A (possibly coalesced) array range check.
+  void checkArrayRange(ThreadId T, ObjectId Arr, const StridedRange &R,
+                       AccessKind K);
+
+  /// Array allocation (length is needed for shadow compression).
+  void onArrayAlloc(ObjectId Arr, int64_t Length);
+
+  //===--- Synchronization events --------------------------------------------
+  void onAcquire(ThreadId T, ObjectId Lock);
+  void onRelease(ThreadId T, ObjectId Lock);
+  void onVolatileRead(ThreadId T, ObjectId Obj, const std::string &Field);
+  void onVolatileWrite(ThreadId T, ObjectId Obj, const std::string &Field);
+  void onFork(ThreadId Parent, ThreadId Child);
+  void onJoin(ThreadId Joiner, ThreadId Joined);
+  void onBarrier(const std::vector<ThreadId> &Parties);
+  void onThreadExit(ThreadId T);
+
+  /// Commits thread \p T's pending footprints without any HB effect —
+  /// the Section 3.3 "periodically commit deferred checks" extension for
+  /// potentially non-terminating loops. Always sound: it only checks
+  /// earlier within the same release-free span.
+  void periodicCommit(ThreadId T) { commitFootprints(T); }
+
+  //===--- Results ------------------------------------------------------------
+  const std::vector<ReportedRace> &races() const { return Races; }
+
+  /// Racy locations as strings (for differential tests): "obj#N.f" or
+  /// "arr#N[range]".
+  std::set<std::string> racyLocationKeys() const;
+
+  /// Current shadow memory (bytes) and live shadow location count.
+  size_t shadowBytes() const;
+  size_t shadowLocationCount() const;
+
+  /// Records peak memory gauges into the stats (throttled; the census
+  /// walks all shadow state).
+  void sampleMemory();
+
+  /// Unthrottled sample, for run end / thread exit.
+  void sampleMemoryNow();
+
+private:
+  DetectorConfig Config;
+  Stats &Counters;
+  HbState Hb;
+
+  std::map<std::pair<ObjectId, std::string>, FastTrackState> FieldShadow;
+  std::map<ObjectId, ArrayShadow> Arrays;
+
+  /// Per-thread pending array footprints (read and write separately).
+  struct Footprint {
+    RangeSet Reads;
+    RangeSet Writes;
+  };
+  std::map<std::pair<ThreadId, ObjectId>, Footprint> Pending;
+
+  std::vector<ReportedRace> Races;
+  std::set<std::string> RaceKeys;
+  uint64_t MemorySampleTick = 0;
+
+  /// Applies a range directly to the array shadow.
+  void applyArray(ThreadId T, ObjectId Arr, const StridedRange &R,
+                  AccessKind K);
+
+  /// Commits thread \p T's pending footprints (called before any
+  /// synchronization operation by that thread).
+  void commitFootprints(ThreadId T);
+
+  void report(const ReportedRace &Race);
+
+  ArrayShadow &shadowFor(ObjectId Arr);
+};
+
+//===--- The five paper configurations ---------------------------------------
+
+DetectorConfig fastTrackConfig();
+DetectorConfig djitConfig();
+DetectorConfig redCardConfig(std::map<std::string, std::string> Proxies);
+DetectorConfig slimStateConfig();
+DetectorConfig slimCardConfig(std::map<std::string, std::string> Proxies);
+DetectorConfig bigFootConfig(std::map<std::string, std::string> Proxies);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_RUNTIME_DETECTOR_H

@@ -1,0 +1,142 @@
+//===- FastTrackState.cpp - Per-location FastTrack automaton ---------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FastTrackState.h"
+
+#include <memory>
+#include <sstream>
+
+using namespace bigfoot;
+
+FastTrackState::FastTrackState(const FastTrackState &Other)
+    : W(Other.W), R(Other.R) {
+  if (Other.SharedRead)
+    SharedRead = std::make_unique<VectorClock>(*Other.SharedRead);
+  if (Other.SharedWrite)
+    SharedWrite = std::make_unique<VectorClock>(*Other.SharedWrite);
+}
+
+FastTrackState &FastTrackState::operator=(const FastTrackState &Other) {
+  if (this == &Other)
+    return *this;
+  W = Other.W;
+  R = Other.R;
+  SharedRead =
+      Other.SharedRead ? std::make_unique<VectorClock>(*Other.SharedRead)
+                       : nullptr;
+  SharedWrite =
+      Other.SharedWrite ? std::make_unique<VectorClock>(*Other.SharedWrite)
+                        : nullptr;
+  return *this;
+}
+
+void FastTrackState::forceVectorClocks() {
+  if (!SharedRead) {
+    SharedRead = std::make_unique<VectorClock>();
+    if (!R.isBottom())
+      SharedRead->set(R.Tid, R.Clock);
+    R = Epoch();
+  }
+  if (!SharedWrite) {
+    SharedWrite = std::make_unique<VectorClock>();
+    if (!W.isBottom())
+      SharedWrite->set(W.Tid, W.Clock);
+  }
+}
+
+std::optional<RaceInfo> FastTrackState::onRead(ThreadId T,
+                                               const VectorClock &C) {
+  Epoch Cur = C.epochOf(T);
+  // Same-epoch fast path.
+  if (!SharedRead && R == Cur)
+    return std::nullopt;
+  // Write-read conflict.
+  if (SharedWrite) {
+    for (ThreadId U = 0; U < SharedWrite->size(); ++U) {
+      uint64_t WC = SharedWrite->get(U);
+      if (U != T && WC != 0 && WC > C.get(U))
+        return RaceInfo{RaceKind::WriteRead, Epoch{U, WC}, Cur};
+    }
+  } else if (!W.isBottom() && !C.covers(W)) {
+    return RaceInfo{RaceKind::WriteRead, W, Cur};
+  }
+  if (SharedRead) {
+    SharedRead->set(T, Cur.Clock);
+    return std::nullopt;
+  }
+  // Exclusive read: keep the epoch when the previous reader is ordered.
+  if (R.isBottom() || R.Tid == T || C.covers(R)) {
+    R = Cur;
+    return std::nullopt;
+  }
+  // Inflate to read-shared.
+  SharedRead = std::make_unique<VectorClock>();
+  SharedRead->set(R.Tid, R.Clock);
+  SharedRead->set(T, Cur.Clock);
+  R = Epoch();
+  return std::nullopt;
+}
+
+std::optional<RaceInfo> FastTrackState::onWrite(ThreadId T,
+                                                const VectorClock &C) {
+  Epoch Cur = C.epochOf(T);
+  if (SharedWrite) {
+    // DJIT+ mode: full clock comparison on both histories.
+    for (ThreadId U = 0; U < SharedWrite->size(); ++U) {
+      uint64_t WC = SharedWrite->get(U);
+      if (U != T && WC != 0 && WC > C.get(U))
+        return RaceInfo{RaceKind::WriteWrite, Epoch{U, WC}, Cur};
+    }
+    if (SharedRead)
+      for (ThreadId U = 0; U < SharedRead->size(); ++U) {
+        uint64_t RC = SharedRead->get(U);
+        if (U != T && RC != 0 && RC > C.get(U))
+          return RaceInfo{RaceKind::ReadWrite, Epoch{U, RC}, Cur};
+      }
+    SharedWrite->set(T, Cur.Clock);
+    return std::nullopt;
+  }
+  // Same-epoch fast path.
+  if (W == Cur)
+    return std::nullopt;
+  if (!W.isBottom() && !C.covers(W))
+    return RaceInfo{RaceKind::WriteWrite, W, Cur};
+  if (SharedRead) {
+    // Every previous reader must happen-before this write.
+    for (ThreadId U = 0; U < SharedRead->size(); ++U) {
+      uint64_t RC = SharedRead->get(U);
+      if (RC != 0 && RC > C.get(U))
+        return RaceInfo{RaceKind::ReadWrite, Epoch{U, RC}, Cur};
+    }
+    SharedRead = nullptr;
+  } else if (!R.isBottom() && !C.covers(R)) {
+    return RaceInfo{RaceKind::ReadWrite, R, Cur};
+  }
+  W = Cur;
+  R = Epoch();
+  return std::nullopt;
+}
+
+size_t FastTrackState::memoryBytes() const {
+  size_t Bytes = sizeof(FastTrackState);
+  if (SharedRead)
+    Bytes += sizeof(VectorClock) + SharedRead->size() * sizeof(uint64_t);
+  if (SharedWrite)
+    Bytes += sizeof(VectorClock) + SharedWrite->size() * sizeof(uint64_t);
+  return Bytes;
+}
+
+std::string VectorClock::str() const {
+  std::ostringstream OS;
+  OS << "<";
+  for (size_t I = 0; I < Clocks.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << Clocks[I];
+  }
+  OS << ">";
+  return OS.str();
+}

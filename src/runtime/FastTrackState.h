@@ -1,0 +1,76 @@
+//===- FastTrackState.h - Per-location FastTrack automaton ------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FastTrack per-shadow-location state machine [PLDI'09]: a last-write
+/// epoch plus an adaptive read representation (epoch in the common case,
+/// inflated to a full vector clock for read-shared data). Every detector
+/// in this repository — FastTrack, RedCard, SlimState, SlimCard, BigFoot
+/// — stores one of these per shadow location; they differ only in how many
+/// shadow locations they keep and how often they touch them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_RUNTIME_FASTTRACKSTATE_H
+#define BIGFOOT_RUNTIME_FASTTRACKSTATE_H
+
+#include "runtime/VectorClock.h"
+
+#include <memory>
+#include <optional>
+
+namespace bigfoot {
+
+/// What kind of conflict a shadow operation detected.
+enum class RaceKind { WriteWrite, WriteRead, ReadWrite };
+
+/// A detected conflict: the previous access's epoch and the current one.
+struct RaceInfo {
+  RaceKind Kind;
+  Epoch Prev;
+  Epoch Cur;
+};
+
+/// One shadow location.
+class FastTrackState {
+public:
+  /// DJIT+ mode [Pozniansky-Schuster 07]: keep full vector clocks for
+  /// reads AND writes instead of FastTrack's adaptive epochs. Used by the
+  /// extra "djit" baseline configuration.
+  void forceVectorClocks();
+
+  /// Processes a read by thread \p T whose clock is \p C. Returns the race
+  /// if the read conflicts with an earlier write.
+  std::optional<RaceInfo> onRead(ThreadId T, const VectorClock &C);
+
+  /// Processes a write. Returns the race if it conflicts with an earlier
+  /// write or any earlier read.
+  std::optional<RaceInfo> onWrite(ThreadId T, const VectorClock &C);
+
+  /// True if the read representation was inflated to a vector clock.
+  bool isReadShared() const { return SharedRead != nullptr; }
+
+  /// Approximate footprint in bytes (Table 2's space accounting).
+  size_t memoryBytes() const;
+
+  /// Splitting a compressed shadow location copies its state to each finer
+  /// location; the default copy operations are deliberately available.
+  FastTrackState() = default;
+  FastTrackState(const FastTrackState &Other);
+  FastTrackState &operator=(const FastTrackState &Other);
+
+private:
+  Epoch W;
+  Epoch R;
+  /// Non-null once reads are shared; replaces R.
+  std::unique_ptr<VectorClock> SharedRead;
+  /// Non-null only in DJIT+ mode: last-write clock per thread.
+  std::unique_ptr<VectorClock> SharedWrite;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_RUNTIME_FASTTRACKSTATE_H

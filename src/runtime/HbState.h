@@ -1,0 +1,117 @@
+//===- HbState.h - Happens-before bookkeeping -------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-detector happens-before state: thread clocks plus release clocks
+/// for locks, volatiles, forked threads, and barriers — the standard
+/// DJIT+/FastTrack synchronization treatment (Section 5 handles the same
+/// operations for Java).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_RUNTIME_HBSTATE_H
+#define BIGFOOT_RUNTIME_HBSTATE_H
+
+#include "runtime/VectorClock.h"
+
+#include <map>
+#include <vector>
+
+namespace bigfoot {
+
+/// Identifies a heap object / array in the VM.
+using ObjectId = uint64_t;
+
+/// Happens-before clocks shared by all detectors.
+class HbState {
+public:
+  /// The current clock of thread \p T.
+  VectorClock &clockOf(ThreadId T) {
+    if (T >= Threads.size())
+      Threads.resize(T + 1);
+    VectorClock &C = Threads[T];
+    if (C.get(T) == 0)
+      C.set(T, 1); // Clocks start at 1; 0 is the bottom epoch.
+    return C;
+  }
+
+  void onAcquire(ThreadId T, ObjectId Lock) {
+    clockOf(T).joinWith(LockClocks[Lock]);
+  }
+
+  void onRelease(ThreadId T, ObjectId Lock) {
+    VectorClock &C = clockOf(T);
+    LockClocks[Lock] = C;
+    C.increment(T);
+  }
+
+  /// Volatile write = release to the volatile's clock; volatile read =
+  /// acquire from it.
+  void onVolatileWrite(ThreadId T, ObjectId Obj, const std::string &Field) {
+    VectorClock &C = clockOf(T);
+    VolatileClocks[{Obj, Field}] = C;
+    C.increment(T);
+  }
+
+  void onVolatileRead(ThreadId T, ObjectId Obj, const std::string &Field) {
+    auto It = VolatileClocks.find({Obj, Field});
+    if (It != VolatileClocks.end())
+      clockOf(T).joinWith(It->second);
+  }
+
+  void onFork(ThreadId Parent, ThreadId Child) {
+    // Copy before touching the child: clockOf may grow the vector and
+    // invalidate references.
+    VectorClock P = clockOf(Parent);
+    clockOf(Child).joinWith(P);
+    clockOf(Parent).increment(Parent);
+  }
+
+  void onThreadExit(ThreadId T) { FinalClocks[T] = clockOf(T); }
+
+  void onJoin(ThreadId Joiner, ThreadId Joined) {
+    auto It = FinalClocks.find(Joined);
+    if (It != FinalClocks.end())
+      clockOf(Joiner).joinWith(It->second);
+  }
+
+  /// All parties release into the barrier, then all acquire the join.
+  void onBarrier(const std::vector<ThreadId> &Parties) {
+    VectorClock Joined;
+    for (ThreadId T : Parties)
+      Joined.joinWith(clockOf(T));
+    for (ThreadId T : Parties) {
+      VectorClock &C = clockOf(T);
+      C.joinWith(Joined);
+      C.increment(T);
+    }
+  }
+
+  /// Approximate footprint in bytes.
+  size_t memoryBytes() const {
+    size_t Bytes = 0;
+    for (const VectorClock &C : Threads)
+      Bytes += sizeof(VectorClock) + C.size() * sizeof(uint64_t);
+    auto MapBytes = [](const auto &Map) {
+      size_t B = 0;
+      for (const auto &[Key, C] : Map)
+        B += sizeof(Key) + sizeof(VectorClock) + C.size() * sizeof(uint64_t);
+      return B;
+    };
+    return Bytes + MapBytes(LockClocks) + MapBytes(VolatileClocks) +
+           MapBytes(FinalClocks);
+  }
+
+private:
+  std::vector<VectorClock> Threads;
+  std::map<ObjectId, VectorClock> LockClocks;
+  std::map<std::pair<ObjectId, std::string>, VectorClock> VolatileClocks;
+  std::map<ThreadId, VectorClock> FinalClocks;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_RUNTIME_HBSTATE_H

@@ -1,0 +1,91 @@
+//===- VectorClock.h - Vector clocks and epochs -----------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks [Mattern 88] and FastTrack epochs [PLDI'09]. An epoch
+/// c@t is a (clock, thread) pair — the lightweight representation
+/// FastTrack uses for the common case of totally ordered accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_RUNTIME_VECTORCLOCK_H
+#define BIGFOOT_RUNTIME_VECTORCLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+using ThreadId = uint32_t;
+
+/// An epoch c@t. Clock 0 is "bottom": it happens-before everything, so a
+/// default epoch never races.
+struct Epoch {
+  ThreadId Tid = 0;
+  uint64_t Clock = 0;
+
+  bool isBottom() const { return Clock == 0; }
+
+  bool operator==(const Epoch &O) const {
+    return Tid == O.Tid && Clock == O.Clock;
+  }
+
+  std::string str() const {
+    return std::to_string(Clock) + "@" + std::to_string(Tid);
+  }
+};
+
+/// A growable vector clock.
+class VectorClock {
+public:
+  VectorClock() = default;
+
+  uint64_t get(ThreadId T) const {
+    return T < Clocks.size() ? Clocks[T] : 0;
+  }
+
+  void set(ThreadId T, uint64_t Value) {
+    ensure(T);
+    Clocks[T] = Value;
+  }
+
+  void increment(ThreadId T) {
+    ensure(T);
+    ++Clocks[T];
+  }
+
+  /// Pointwise maximum (the join after an acquire).
+  void joinWith(const VectorClock &Other) {
+    if (Other.Clocks.size() > Clocks.size())
+      Clocks.resize(Other.Clocks.size(), 0);
+    for (size_t I = 0; I < Other.Clocks.size(); ++I)
+      if (Other.Clocks[I] > Clocks[I])
+        Clocks[I] = Other.Clocks[I];
+  }
+
+  /// True if epoch \p E happens-before (or equals) this clock's view.
+  bool covers(const Epoch &E) const { return E.Clock <= get(E.Tid); }
+
+  /// The epoch of thread \p T under this clock.
+  Epoch epochOf(ThreadId T) const { return Epoch{T, get(T)}; }
+
+  size_t size() const { return Clocks.size(); }
+
+  std::string str() const;
+
+private:
+  std::vector<uint64_t> Clocks;
+
+  void ensure(ThreadId T) {
+    if (T >= Clocks.size())
+      Clocks.resize(T + 1, 0);
+  }
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_RUNTIME_VECTORCLOCK_H

@@ -1,0 +1,92 @@
+//===- AffineExpr.cpp - Affine expressions over program variables ---------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AffineExpr.h"
+
+#include <sstream>
+
+using namespace bigfoot;
+
+AffineExpr AffineExpr::operator+(const AffineExpr &Other) const {
+  AffineExpr Out = *this;
+  Out.Constant += Other.Constant;
+  for (const auto &[Name, Coeff] : Other.Terms)
+    Out.addTerm(Name, Coeff);
+  return Out;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &Other) const {
+  return *this + (-Other);
+}
+
+AffineExpr AffineExpr::operator-() const { return *this * -1; }
+
+AffineExpr AffineExpr::operator*(int64_t Scale) const {
+  AffineExpr Out;
+  if (Scale == 0)
+    return Out;
+  Out.Constant = Constant * Scale;
+  for (const auto &[Name, Coeff] : Terms)
+    Out.Terms[Name] = Coeff * Scale;
+  return Out;
+}
+
+AffineExpr AffineExpr::substitute(const std::string &Name,
+                                  const AffineExpr &Replacement) const {
+  auto It = Terms.find(Name);
+  if (It == Terms.end())
+    return *this;
+  int64_t Coeff = It->second;
+  AffineExpr Out = *this;
+  Out.Terms.erase(Name);
+  return Out + Replacement * Coeff;
+}
+
+std::optional<int64_t> AffineExpr::evaluate(
+    const std::function<std::optional<int64_t>(const std::string &)> &Env)
+    const {
+  int64_t Acc = Constant;
+  for (const auto &[Name, Coeff] : Terms) {
+    std::optional<int64_t> V = Env(Name);
+    if (!V)
+      return std::nullopt;
+    Acc += Coeff * *V;
+  }
+  return Acc;
+}
+
+std::string AffineExpr::str() const {
+  if (Terms.empty())
+    return std::to_string(Constant);
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[Name, Coeff] : Terms) {
+    if (Coeff >= 0 && !First)
+      OS << " + ";
+    else if (Coeff < 0)
+      OS << (First ? "-" : " - ");
+    int64_t Mag = Coeff < 0 ? -Coeff : Coeff;
+    if (Mag != 1)
+      OS << Mag << "*";
+    OS << Name;
+    First = false;
+  }
+  if (Constant > 0)
+    OS << " + " << Constant;
+  else if (Constant < 0)
+    OS << " - " << -Constant;
+  return OS.str();
+}
+
+std::string SymbolicRange::str() const {
+  if (isSingleton())
+    return "[" + Begin.str() + "]";
+  std::string S = "[" + Begin.str() + ".." + End.str();
+  if (Stride != 1)
+    S += ":" + std::to_string(Stride);
+  S += "]";
+  return S;
+}

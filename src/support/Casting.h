@@ -1,0 +1,50 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast -----------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style: each AST class exposes a static
+/// classof(const Base*) predicate keyed on a Kind enumerator, and the
+/// isa<> / cast<> / dyn_cast<> templates below dispatch on it. No C++
+/// RTTI is used anywhere in the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_SUPPORT_CASTING_H
+#define BIGFOOT_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace bigfoot {
+
+/// True if \p V points to an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible kind");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible kind");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns null on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_SUPPORT_CASTING_H

@@ -1,0 +1,53 @@
+//===- Stats.h - Named counters ---------------------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple named counters gathered per run: heap accesses, shadow-location
+/// check operations, footprint commits, shadow refinements, and so on. The
+/// check ratio of Figure 8 is Counters["shadow.checks"] /
+/// Counters["vm.accesses"].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_SUPPORT_STATS_H
+#define BIGFOOT_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bigfoot {
+
+/// A bag of named monotonically increasing counters.
+class Stats {
+public:
+  void bump(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Records a maximum-style gauge (e.g. peak live shadow locations).
+  void gaugeMax(const std::string &Name, uint64_t Value) {
+    uint64_t &Slot = Counters[Name];
+    if (Value > Slot)
+      Slot = Value;
+  }
+
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  void clear() { Counters.clear(); }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_SUPPORT_STATS_H

@@ -1,0 +1,228 @@
+//===- StridedRange.cpp - Concrete strided index ranges -------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StridedRange.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+using namespace bigfoot;
+
+bool StridedRange::covers(const StridedRange &Other) const {
+  if (Other.empty())
+    return true;
+  if (empty())
+    return false;
+  // Every element B' + i*K' must satisfy membership in this range. It is
+  // enough that the first element is a member, K' is a multiple of K, and
+  // the last element is below End.
+  if (!contains(Other.Begin))
+    return false;
+  int64_t Last = Other.Begin + (Other.size() - 1) * Other.Stride;
+  if (Last >= End)
+    return false;
+  if (Other.size() == 1)
+    return true;
+  return Other.Stride % Stride == 0;
+}
+
+bool StridedRange::intersects(const StridedRange &Other) const {
+  if (empty() || Other.empty())
+    return false;
+  if (End <= Other.Begin || Other.End <= Begin)
+    return false;
+  // Solve B1 + i*K1 == B2 + j*K2 for i,j >= 0 within bounds. The strides
+  // appearing in practice are tiny, so walk the sparser range.
+  const StridedRange &Sparse = size() <= Other.size() ? *this : Other;
+  const StridedRange &Dense = size() <= Other.size() ? Other : *this;
+  if (Sparse.size() <= 64) {
+    for (int64_t I = Sparse.Begin; I < Sparse.End; I += Sparse.Stride)
+      if (Dense.contains(I))
+        return true;
+    return false;
+  }
+  // Large ranges: use the CRT condition. x == B1 (mod K1), x == B2 (mod K2)
+  // has a solution iff gcd(K1,K2) divides (B1 - B2); bound overlap was
+  // already confirmed, and the overlap window is at least lcm wide whenever
+  // both ranges are this large in practice.
+  int64_t G = std::gcd(Stride, Other.Stride);
+  if ((Begin - Other.Begin) % G != 0)
+    return false;
+  // Find the first common element explicitly to respect the bounds.
+  int64_t Lo = std::max(Begin, Other.Begin);
+  int64_t Hi = std::min(End, Other.End);
+  for (int64_t I = Lo; I < Hi; ++I)
+    if (contains(I) && Other.contains(I))
+      return true;
+  return false;
+}
+
+std::optional<StridedRange> StridedRange::unionWith(
+    const StridedRange &Other) const {
+  if (empty())
+    return Other;
+  if (Other.empty())
+    return *this;
+  if (covers(Other))
+    return *this;
+  if (Other.covers(*this))
+    return Other;
+
+  // Two singletons form a range with stride equal to their distance.
+  if (size() == 1 && Other.size() == 1) {
+    int64_t A = Begin, B = Other.Begin;
+    if (A > B)
+      std::swap(A, B);
+    return StridedRange(A, B + 1, B - A);
+  }
+
+  // Singleton extending a strided range at either end.
+  auto ExtendWithPoint = [](const StridedRange &R,
+                            int64_t P) -> std::optional<StridedRange> {
+    int64_t Last = R.begin() + (R.size() - 1) * R.stride();
+    if (P == Last + R.stride())
+      return StridedRange(R.begin(), P + 1, R.stride());
+    if (P == R.begin() - R.stride())
+      return StridedRange(P, Last + 1, R.stride());
+    return std::nullopt;
+  };
+  if (Other.size() == 1)
+    return ExtendWithPoint(*this, Other.Begin);
+  if (size() == 1)
+    return ExtendWithPoint(Other, Begin);
+
+  // Same stride, aligned, adjacent or overlapping: extend the bounds.
+  if (Stride == Other.Stride) {
+    int64_t K = Stride;
+    if ((Begin - Other.Begin) % K == 0) {
+      // Contiguous-with-stride if neither leaves a gap of >= K between the
+      // last element of one and the first element of the other.
+      int64_t ThisLast = Begin + (size() - 1) * K;
+      int64_t OtherLast = Other.Begin + (Other.size() - 1) * K;
+      int64_t Lo = std::min(Begin, Other.Begin);
+      int64_t Hi = std::max(ThisLast, OtherLast);
+      // Check there is no gap: the two spans must touch or overlap.
+      if (Begin <= Other.Begin) {
+        if (Other.Begin - ThisLast > K)
+          return std::nullopt;
+      } else {
+        if (Begin - OtherLast > K)
+          return std::nullopt;
+      }
+      return StridedRange(Lo, Hi + 1, K);
+    }
+  }
+
+  // Interleaving: two stride-2k ranges offset by k merge into stride k.
+  if (Stride == Other.Stride && Stride % 2 == 0) {
+    int64_t Half = Stride / 2;
+    if (std::max(Begin, Other.Begin) - std::min(Begin, Other.Begin) == Half &&
+        size() == Other.size())
+      return StridedRange(std::min(Begin, Other.Begin),
+                          std::max(End, Other.End), Half);
+  }
+  return std::nullopt;
+}
+
+std::string StridedRange::str() const {
+  std::ostringstream OS;
+  if (empty()) {
+    OS << "[]";
+    return OS.str();
+  }
+  if (size() == 1) {
+    OS << "[" << Begin << "]";
+    return OS.str();
+  }
+  OS << "[" << Begin << ".." << End;
+  if (Stride != 1)
+    OS << ":" << Stride;
+  OS << "]";
+  return OS.str();
+}
+
+int64_t RangeSet::cardinality() const {
+  int64_t N = 0;
+  for (const StridedRange &R : Ranges)
+    N += R.size();
+  return N;
+}
+
+void RangeSet::add(const StridedRange &R) {
+  if (R.empty())
+    return;
+  StridedRange Pending = R;
+  // Merge with order-adjacent fragments only: footprints are built from
+  // sequential or strided access streams, where the mergeable fragment is
+  // always a neighbor in begin-order. Non-neighbor merges are rare and
+  // only cost representation compactness, never correctness.
+  size_t Pos = static_cast<size_t>(
+      std::lower_bound(Ranges.begin(), Ranges.end(), Pending) -
+      Ranges.begin());
+  bool Merged = true;
+  while (Merged) {
+    Merged = false;
+    if (Pos > 0) {
+      if (auto U = Ranges[Pos - 1].unionWith(Pending)) {
+        Pending = *U;
+        Ranges.erase(Ranges.begin() + static_cast<ptrdiff_t>(Pos - 1));
+        --Pos;
+        Merged = true;
+        continue;
+      }
+    }
+    if (Pos < Ranges.size()) {
+      if (auto U = Ranges[Pos].unionWith(Pending)) {
+        Pending = *U;
+        Ranges.erase(Ranges.begin() + static_cast<ptrdiff_t>(Pos));
+        Merged = true;
+      }
+    }
+  }
+  Ranges.insert(Ranges.begin() + static_cast<ptrdiff_t>(Pos), Pending);
+}
+
+bool RangeSet::contains(int64_t Index) const {
+  for (const StridedRange &R : Ranges)
+    if (R.contains(Index))
+      return true;
+  return false;
+}
+
+bool RangeSet::covers(const StridedRange &R) const {
+  if (R.empty())
+    return true;
+  for (const StridedRange &Frag : Ranges)
+    if (Frag.covers(R))
+      return true;
+  // Fall back to per-element coverage across fragments.
+  for (int64_t I = R.begin(); I < R.end(); I += R.stride())
+    if (!contains(I))
+      return false;
+  return true;
+}
+
+std::vector<int64_t> RangeSet::elements() const {
+  std::vector<int64_t> Out;
+  for (const StridedRange &R : Ranges)
+    for (int64_t I : R.elements())
+      Out.push_back(I);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::string RangeSet::str() const {
+  std::string S = "{";
+  for (size_t I = 0; I < Ranges.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += Ranges[I].str();
+  }
+  S += "}";
+  return S;
+}

@@ -1,0 +1,59 @@
+//===- TablePrinter.cpp - Aligned text tables ------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+using namespace bigfoot;
+
+std::string TablePrinter::num(double Value, int Precision) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Precision) << Value;
+  return OS.str();
+}
+
+std::string TablePrinter::ratio(double Value) {
+  return "(" + num(Value, 2) + ")";
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  if (Rows.empty())
+    return;
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  if (!Title.empty()) {
+    OS << "== " << Title << " ==\n";
+  }
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    const auto &Row = Rows[R];
+    for (size_t C = 0; C < Row.size(); ++C) {
+      // Left-align the first column (program names), right-align numbers.
+      if (C == 0)
+        OS << std::left << std::setw(static_cast<int>(Widths[C]) + 2)
+           << Row[C];
+      else
+        OS << std::right << std::setw(static_cast<int>(Widths[C]) + 2)
+           << Row[C];
+    }
+    OS << "\n";
+    if (R == 0) {
+      OS << std::string(Total, '-') << "\n";
+    }
+  }
+}

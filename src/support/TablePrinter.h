@@ -1,0 +1,50 @@
+//===- TablePrinter.h - Aligned text tables ---------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned text table output. The benchmark harness uses this to
+/// print rows in the same layout as the paper's Table 1, Table 2, and the
+/// Figure 2 / Figure 8 series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_SUPPORT_TABLEPRINTER_H
+#define BIGFOOT_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+/// Accumulates rows of string cells and prints them with per-column
+/// alignment. The first row added is treated as the header.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Adds a row; the first addRow becomes the header.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string num(double Value, int Precision = 2);
+
+  /// Formats a ratio cell as e.g. "(0.39)".
+  static std::string ratio(double Value);
+
+  /// Writes the table to \p OS.
+  void print(std::ostream &OS) const;
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_SUPPORT_TABLEPRINTER_H

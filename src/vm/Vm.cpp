@@ -1,0 +1,903 @@
+//===- Vm.cpp - The BFJ virtual machine -------------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace bigfoot;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Values and heap.
+//===----------------------------------------------------------------------===
+
+struct Value {
+  enum class Kind { Int, Ref, Null };
+  Kind K = Kind::Int;
+  int64_t I = 0;
+
+  static Value intV(int64_t V) { return Value{Kind::Int, V}; }
+  static Value refV(ObjectId Id) {
+    return Value{Kind::Ref, static_cast<int64_t>(Id)};
+  }
+  static Value nullV() { return Value{Kind::Null, 0}; }
+
+  bool truthy() const { return K == Kind::Int ? I != 0 : K == Kind::Ref; }
+
+  bool equals(const Value &O) const {
+    if (K != O.K)
+      return false;
+    if (K == Kind::Null)
+      return true;
+    return I == O.I;
+  }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Int:
+      return std::to_string(I);
+    case Kind::Ref:
+      return "obj#" + std::to_string(I);
+    case Kind::Null:
+      return "null";
+    }
+    return "?";
+  }
+};
+
+struct HeapObject {
+  const ClassDecl *Cls = nullptr;
+  std::map<std::string, Value> Fields;
+  int32_t LockOwner = -1;
+  unsigned LockDepth = 0;
+};
+
+struct HeapArray {
+  std::vector<Value> Elems;
+};
+
+struct BarrierRec {
+  int64_t Parties = 0;
+  std::vector<ThreadId> Arrived;
+  uint64_t Generation = 0;
+};
+
+//===----------------------------------------------------------------------===
+// Threads and continuations.
+//===----------------------------------------------------------------------===
+
+/// One resumable position inside a statement tree. Blocks track the next
+/// child; loops track their phase (0 = start pre-body, 1 = exit test,
+/// 2 = post-body finished, go around).
+struct Task {
+  const Stmt *S = nullptr;
+  size_t Index = 0;
+  int Phase = 0;
+};
+
+struct Frame {
+  std::unordered_map<std::string, Value> Locals;
+  const MethodDecl *Method = nullptr;
+  std::string ReturnTarget;
+  std::vector<Task> Tasks;
+};
+
+struct ThreadCtx {
+  ThreadId Tid = 0;
+  std::vector<Frame> Frames;
+  bool Finished = false;
+  bool InBarrier = false;
+  uint64_t WaitGen = 0;
+  uint64_t StepCount = 0;
+};
+
+enum class StepResult { Progress, Blocked };
+
+//===----------------------------------------------------------------------===
+// The interpreter.
+//===----------------------------------------------------------------------===
+
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, const DetectorConfig *ToolCfg,
+              const VmOptions &Opts)
+      : Prog(Prog), Opts(Opts), R(Opts.Seed) {
+    if (ToolCfg)
+      Tool = std::make_unique<RaceDetector>(*ToolCfg, Result.Counters);
+    if (Opts.EnableGroundTruth)
+      Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters);
+  }
+
+  VmResult run() {
+    setup();
+    schedule();
+    Result.Ok = Error.empty();
+    Result.Error = Error;
+    if (Tool) {
+      Tool->sampleMemoryNow();
+      Result.ToolRaces = Tool->races();
+      Result.ToolRacyLocations = Tool->racyLocationKeys();
+    }
+    if (Gt) {
+      Result.GroundTruthRaces = Gt->races();
+      Result.GroundTruthRacyLocations = Gt->racyLocationKeys();
+    }
+    return std::move(Result);
+  }
+
+private:
+  const Program &Prog;
+  VmOptions Opts;
+  Rng R;
+  VmResult Result;
+  Stats GtCounters;
+  std::unique_ptr<RaceDetector> Tool;
+  std::unique_ptr<RaceDetector> Gt;
+
+  std::unordered_map<ObjectId, HeapObject> Objects;
+  std::unordered_map<ObjectId, HeapArray> Arrays;
+  std::unordered_map<ObjectId, BarrierRec> Barriers;
+  ObjectId NextId = 1;
+  ObjectId GlobalObj = 0;
+
+  std::vector<std::unique_ptr<ThreadCtx>> Threads;
+  std::string Error;
+  uint64_t Steps = 0;
+
+  Stats &counters() { return Result.Counters; }
+
+  //===--- Event trace (tests only) --------------------------------------------
+
+  void traceSync(ThreadId Tid, TraceEvent::Kind K) {
+    if (!Opts.RecordEventTrace)
+      return;
+    TraceEvent E;
+    E.K = K;
+    E.Tid = Tid;
+    Result.Trace.push_back(std::move(E));
+  }
+
+  void traceLoc(ThreadId Tid, TraceEvent::Kind K, std::string Loc,
+                AccessKind Access) {
+    if (!Opts.RecordEventTrace)
+      return;
+    TraceEvent E;
+    E.K = K;
+    E.Tid = Tid;
+    E.Access = Access;
+    E.Loc = std::move(Loc);
+    Result.Trace.push_back(std::move(E));
+  }
+
+  static std::string fieldLoc(ObjectId Id, const std::string &Field) {
+    return "obj#" + std::to_string(Id) + "." + Field;
+  }
+
+  static std::string elemLoc(ObjectId Id, int64_t Index) {
+    return "arr#" + std::to_string(Id) + "[" + std::to_string(Index) + "]";
+  }
+
+  void setError(const std::string &Message) {
+    if (Error.empty())
+      Error = Message;
+  }
+
+  //===--- Setup --------------------------------------------------------------
+
+  void setup() {
+    GlobalObj = NextId++;
+    Objects.emplace(GlobalObj, HeapObject());
+    for (const StmtPtr &Body : Prog.Threads) {
+      auto T = std::make_unique<ThreadCtx>();
+      T->Tid = static_cast<ThreadId>(Threads.size());
+      Frame F;
+      F.Locals["$g"] = Value::refV(GlobalObj);
+      F.Tasks.push_back(Task{Body.get(), 0, 0});
+      T->Frames.push_back(std::move(F));
+      Threads.push_back(std::move(T));
+    }
+  }
+
+  //===--- Scheduler -----------------------------------------------------------
+
+  void schedule() {
+    size_t Cursor = 0;
+    while (Error.empty()) {
+      bool AnyAlive = false;
+      bool AnyProgress = false;
+      size_t SweepSize = Threads.size();
+      for (size_t Pass = 0; Pass < SweepSize && Error.empty(); ++Pass) {
+        ThreadCtx &T = *Threads[(Cursor + Pass) % SweepSize];
+        if (T.Finished)
+          continue;
+        AnyAlive = true;
+        unsigned Quantum =
+            1 + static_cast<unsigned>(R.nextBelow(Opts.Quantum));
+        for (unsigned I = 0; I < Quantum && Error.empty(); ++I) {
+          if (T.Finished)
+            break;
+          if (step(T) == StepResult::Blocked)
+            break;
+          AnyProgress = true;
+          if (Opts.CommitIntervalSteps && Tool &&
+              ++T.StepCount % Opts.CommitIntervalSteps == 0)
+            Tool->periodicCommit(T.Tid);
+          if (++Steps > Opts.MaxSteps) {
+            setError("step budget exhausted (non-terminating program?)");
+            break;
+          }
+        }
+      }
+      if (!AnyAlive)
+        break;
+      if (!AnyProgress && Error.empty()) {
+        setError("deadlock: every live thread is blocked");
+        break;
+      }
+      if (!Threads.empty())
+        Cursor = (Cursor + 1) % Threads.size();
+    }
+  }
+
+  //===--- Stepping -------------------------------------------------------------
+
+  StepResult step(ThreadCtx &T) {
+    // Bounded inner loop so control bookkeeping (popping finished blocks)
+    // never spins without executing anything.
+    for (int Guard = 0; Guard < 256; ++Guard) {
+      if (T.Frames.empty()) {
+        finishThread(T);
+        return StepResult::Progress;
+      }
+      Frame &F = T.Frames.back();
+      if (F.Tasks.empty()) {
+        returnFromFrame(T);
+        return StepResult::Progress;
+      }
+      Task &Tk = F.Tasks.back();
+      const Stmt *S = Tk.S;
+
+      if (const auto *Block = dyn_cast<BlockStmt>(S)) {
+        if (Tk.Index >= Block->stmts().size()) {
+          F.Tasks.pop_back();
+          continue;
+        }
+        const Stmt *Child = Block->stmts()[Tk.Index].get();
+        if (isa<BlockStmt>(Child) || isa<LoopStmt>(Child)) {
+          ++Tk.Index;
+          F.Tasks.push_back(Task{Child, 0, 0});
+          continue;
+        }
+        if (const auto *If = dyn_cast<IfStmt>(Child)) {
+          ++Tk.Index;
+          Value Cond = eval(F, If->cond());
+          const Stmt *Branch = Cond.truthy() ? If->thenStmt()
+                                             : If->elseStmt();
+          // Re-fetch the frame: eval cannot push frames, but stay safe.
+          T.Frames.back().Tasks.push_back(Task{Branch, 0, 0});
+          return StepResult::Progress;
+        }
+        ++Tk.Index;
+        StepResult Res = execSimple(T, Child);
+        if (Res == StepResult::Blocked) {
+          // Undo the claim; the statement retries on the next schedule.
+          --T.Frames.back().Tasks.back().Index;
+          return StepResult::Blocked;
+        }
+        return StepResult::Progress;
+      }
+
+      if (const auto *Loop = dyn_cast<LoopStmt>(S)) {
+        if (Tk.Phase == 0) {
+          Tk.Phase = 1;
+          F.Tasks.push_back(Task{Loop->preBody(), 0, 0});
+          continue;
+        }
+        if (Tk.Phase == 1) {
+          Value Exit = eval(F, Loop->exitCond());
+          if (Exit.truthy()) {
+            F.Tasks.pop_back();
+            return StepResult::Progress;
+          }
+          Tk.Phase = 2;
+          F.Tasks.push_back(Task{Loop->postBody(), 0, 0});
+          return StepResult::Progress;
+        }
+        Tk.Phase = 0;
+        continue;
+      }
+
+      // A bare simple statement as a task (e.g. a Skip branch).
+      F.Tasks.pop_back();
+      StepResult Res = execSimple(T, S);
+      if (Res == StepResult::Blocked) {
+        T.Frames.back().Tasks.push_back(Task{S, 0, 0});
+        return StepResult::Blocked;
+      }
+      return StepResult::Progress;
+    }
+    setError("interpreter control stack failed to make progress");
+    return StepResult::Progress;
+  }
+
+  void finishThread(ThreadCtx &T) {
+    if (T.Finished)
+      return;
+    T.Finished = true;
+    if (Tool)
+      Tool->onThreadExit(T.Tid);
+    if (Gt)
+      Gt->onThreadExit(T.Tid);
+  }
+
+  void returnFromFrame(ThreadCtx &T) {
+    Frame &F = T.Frames.back();
+    Value Ret = Value::intV(0);
+    if (F.Method && !F.Method->ReturnVar.empty())
+      Ret = local(F, F.Method->ReturnVar);
+    std::string Target = F.ReturnTarget;
+    T.Frames.pop_back();
+    if (T.Frames.empty()) {
+      finishThread(T);
+      return;
+    }
+    if (!Target.empty() && Target != "_")
+      T.Frames.back().Locals[Target] = Ret;
+  }
+
+  //===--- Expression evaluation -------------------------------------------------
+
+  Value local(Frame &F, const std::string &Name) {
+    auto It = F.Locals.find(Name);
+    // Uninitialized locals read as 0 (BFJ has no declarations).
+    return It == F.Locals.end() ? Value::intV(0) : It->second;
+  }
+
+  Value eval(Frame &F, const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Value::intV(cast<IntLit>(E)->value());
+    case ExprKind::BoolLit:
+      return Value::intV(cast<BoolLit>(E)->value() ? 1 : 0);
+    case ExprKind::NullLit:
+      return Value::nullV();
+    case ExprKind::VarRef:
+      return local(F, cast<VarRef>(E)->name());
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Value V = eval(F, U->operand());
+      if (U->op() == UnaryOp::Not)
+        return Value::intV(V.truthy() ? 0 : 1);
+      if (V.K != Value::Kind::Int) {
+        setError("negation of a non-integer");
+        return Value::intV(0);
+      }
+      return Value::intV(-V.I);
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      // Short-circuit logical operators.
+      if (B->op() == BinaryOp::And) {
+        Value L = eval(F, B->lhs());
+        if (!L.truthy())
+          return Value::intV(0);
+        return Value::intV(eval(F, B->rhs()).truthy() ? 1 : 0);
+      }
+      if (B->op() == BinaryOp::Or) {
+        Value L = eval(F, B->lhs());
+        if (L.truthy())
+          return Value::intV(1);
+        return Value::intV(eval(F, B->rhs()).truthy() ? 1 : 0);
+      }
+      Value L = eval(F, B->lhs());
+      Value Rv = eval(F, B->rhs());
+      if (B->op() == BinaryOp::Eq)
+        return Value::intV(L.equals(Rv) ? 1 : 0);
+      if (B->op() == BinaryOp::Ne)
+        return Value::intV(L.equals(Rv) ? 0 : 1);
+      if (L.K != Value::Kind::Int || Rv.K != Value::Kind::Int) {
+        setError("arithmetic on non-integers");
+        return Value::intV(0);
+      }
+      int64_t A = L.I, C = Rv.I;
+      switch (B->op()) {
+      case BinaryOp::Add:
+        return Value::intV(A + C);
+      case BinaryOp::Sub:
+        return Value::intV(A - C);
+      case BinaryOp::Mul:
+        return Value::intV(A * C);
+      case BinaryOp::Div:
+        if (C == 0) {
+          setError("division by zero");
+          return Value::intV(0);
+        }
+        return Value::intV(A / C);
+      case BinaryOp::Mod:
+        if (C == 0) {
+          setError("modulo by zero");
+          return Value::intV(0);
+        }
+        return Value::intV(A % C);
+      case BinaryOp::Lt:
+        return Value::intV(A < C ? 1 : 0);
+      case BinaryOp::Le:
+        return Value::intV(A <= C ? 1 : 0);
+      case BinaryOp::Gt:
+        return Value::intV(A > C ? 1 : 0);
+      case BinaryOp::Ge:
+        return Value::intV(A >= C ? 1 : 0);
+      default:
+        setError("unexpected operator");
+        return Value::intV(0);
+      }
+    }
+    }
+    return Value::intV(0);
+  }
+
+  //===--- Heap helpers ------------------------------------------------------------
+
+  HeapObject *objectOf(Frame &F, const std::string &Var) {
+    Value V = local(F, Var);
+    if (V.K != Value::Kind::Ref) {
+      setError("'" + Var + "' does not hold an object reference");
+      return nullptr;
+    }
+    auto It = Objects.find(static_cast<ObjectId>(V.I));
+    if (It == Objects.end()) {
+      setError("'" + Var + "' is not an object");
+      return nullptr;
+    }
+    return &It->second;
+  }
+
+  HeapArray *arrayOf(Frame &F, const std::string &Var, ObjectId *IdOut) {
+    Value V = local(F, Var);
+    if (V.K != Value::Kind::Ref) {
+      setError("'" + Var + "' does not hold an array reference");
+      return nullptr;
+    }
+    auto It = Arrays.find(static_cast<ObjectId>(V.I));
+    if (It == Arrays.end()) {
+      setError("'" + Var + "' is not an array");
+      return nullptr;
+    }
+    if (IdOut)
+      *IdOut = static_cast<ObjectId>(V.I);
+    return &It->second;
+  }
+
+  bool isVolatile(const std::string &Field) const {
+    return Prog.isFieldVolatileAnywhere(Field);
+  }
+
+  //===--- Statement execution -------------------------------------------------------
+
+  StepResult execSimple(ThreadCtx &T, const Stmt *S) {
+    Frame &F = T.Frames.back();
+    ThreadId Tid = T.Tid;
+    switch (S->kind()) {
+    case StmtKind::Skip:
+      return StepResult::Progress;
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      F.Locals[A->target()] = eval(F, A->value());
+      return StepResult::Progress;
+    }
+    case StmtKind::Rename: {
+      const auto *Ren = cast<RenameStmt>(S);
+      F.Locals[Ren->target()] = local(F, Ren->source());
+      return StepResult::Progress;
+    }
+    case StmtKind::New: {
+      const auto *N = cast<NewStmt>(S);
+      HeapObject Obj;
+      Obj.Cls = Prog.findClass(N->className());
+      ObjectId Id = NextId++;
+      Objects.emplace(Id, std::move(Obj));
+      counters().bump("vm.heapBytes", 64);
+      F.Locals[N->target()] = Value::refV(Id);
+      return StepResult::Progress;
+    }
+    case StmtKind::NewArray: {
+      const auto *N = cast<NewArrayStmt>(S);
+      Value Size = eval(F, N->size());
+      if (Size.K != Value::Kind::Int || Size.I < 0) {
+        setError("invalid array size");
+        return StepResult::Progress;
+      }
+      HeapArray Arr;
+      Arr.Elems.assign(static_cast<size_t>(Size.I), Value::intV(0));
+      ObjectId Id = NextId++;
+      Arrays.emplace(Id, std::move(Arr));
+      counters().bump("vm.heapBytes",
+                      32 + static_cast<uint64_t>(Size.I) * 16);
+      if (Tool)
+        Tool->onArrayAlloc(Id, Size.I);
+      if (Gt)
+        Gt->onArrayAlloc(Id, Size.I);
+      F.Locals[N->target()] = Value::refV(Id);
+      return StepResult::Progress;
+    }
+    case StmtKind::NewBarrier: {
+      const auto *N = cast<NewBarrierStmt>(S);
+      Value Parties = eval(F, N->parties());
+      if (Parties.K != Value::Kind::Int || Parties.I < 1) {
+        setError("invalid barrier party count");
+        return StepResult::Progress;
+      }
+      BarrierRec B;
+      B.Parties = Parties.I;
+      ObjectId Id = NextId++;
+      Barriers.emplace(Id, std::move(B));
+      F.Locals[N->target()] = Value::refV(Id);
+      return StepResult::Progress;
+    }
+    case StmtKind::FieldRead: {
+      const auto *Rd = cast<FieldReadStmt>(S);
+      HeapObject *Obj = objectOf(F, Rd->object());
+      if (!Obj)
+        return StepResult::Progress;
+      ObjectId Id = static_cast<ObjectId>(local(F, Rd->object()).I);
+      if (isVolatile(Rd->field())) {
+        counters().bump("vm.syncOps");
+        traceSync(Tid, TraceEvent::Kind::Acquire);
+        if (Tool)
+          Tool->onVolatileRead(Tid, Id, Rd->field());
+        if (Gt)
+          Gt->onVolatileRead(Tid, Id, Rd->field());
+      } else {
+        counters().bump("vm.accesses");
+        counters().bump("vm.accesses.field");
+        traceLoc(Tid, TraceEvent::Kind::Access, fieldLoc(Id, Rd->field()),
+                 AccessKind::Read);
+        if (Gt)
+          Gt->checkFields(Tid, Id, {Rd->field()}, AccessKind::Read);
+      }
+      auto It = Obj->Fields.find(Rd->field());
+      F.Locals[Rd->target()] =
+          It == Obj->Fields.end() ? Value::intV(0) : It->second;
+      return StepResult::Progress;
+    }
+    case StmtKind::FieldWrite: {
+      const auto *Wr = cast<FieldWriteStmt>(S);
+      Value V = eval(F, Wr->value());
+      HeapObject *Obj = objectOf(F, Wr->object());
+      if (!Obj)
+        return StepResult::Progress;
+      ObjectId Id = static_cast<ObjectId>(local(F, Wr->object()).I);
+      if (isVolatile(Wr->field())) {
+        counters().bump("vm.syncOps");
+        traceSync(Tid, TraceEvent::Kind::Release);
+        if (Tool)
+          Tool->onVolatileWrite(Tid, Id, Wr->field());
+        if (Gt)
+          Gt->onVolatileWrite(Tid, Id, Wr->field());
+      } else {
+        counters().bump("vm.accesses");
+        counters().bump("vm.accesses.field");
+        traceLoc(Tid, TraceEvent::Kind::Access, fieldLoc(Id, Wr->field()),
+                 AccessKind::Write);
+        if (Gt)
+          Gt->checkFields(Tid, Id, {Wr->field()}, AccessKind::Write);
+      }
+      Obj->Fields[Wr->field()] = V;
+      return StepResult::Progress;
+    }
+    case StmtKind::ArrayRead: {
+      const auto *Rd = cast<ArrayReadStmt>(S);
+      Value Idx = eval(F, Rd->index());
+      ObjectId Id = 0;
+      HeapArray *Arr = arrayOf(F, Rd->array(), &Id);
+      if (!Arr)
+        return StepResult::Progress;
+      if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
+          Idx.I >= static_cast<int64_t>(Arr->Elems.size())) {
+        setError("array index out of bounds: " + Idx.str());
+        return StepResult::Progress;
+      }
+      counters().bump("vm.accesses");
+      counters().bump("vm.accesses.array");
+      traceLoc(Tid, TraceEvent::Kind::Access, elemLoc(Id, Idx.I),
+               AccessKind::Read);
+      if (Gt)
+        Gt->checkArrayRange(Tid, Id, StridedRange::singleton(Idx.I),
+                            AccessKind::Read);
+      F.Locals[Rd->target()] = Arr->Elems[static_cast<size_t>(Idx.I)];
+      return StepResult::Progress;
+    }
+    case StmtKind::ArrayWrite: {
+      const auto *Wr = cast<ArrayWriteStmt>(S);
+      Value Idx = eval(F, Wr->index());
+      Value V = eval(F, Wr->value());
+      ObjectId Id = 0;
+      HeapArray *Arr = arrayOf(F, Wr->array(), &Id);
+      if (!Arr)
+        return StepResult::Progress;
+      if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
+          Idx.I >= static_cast<int64_t>(Arr->Elems.size())) {
+        setError("array index out of bounds: " + Idx.str());
+        return StepResult::Progress;
+      }
+      counters().bump("vm.accesses");
+      counters().bump("vm.accesses.array");
+      traceLoc(Tid, TraceEvent::Kind::Access, elemLoc(Id, Idx.I),
+               AccessKind::Write);
+      if (Gt)
+        Gt->checkArrayRange(Tid, Id, StridedRange::singleton(Idx.I),
+                            AccessKind::Write);
+      Arr->Elems[static_cast<size_t>(Idx.I)] = V;
+      return StepResult::Progress;
+    }
+    case StmtKind::ArrayLen: {
+      const auto *L = cast<ArrayLenStmt>(S);
+      HeapArray *Arr = arrayOf(F, L->array(), nullptr);
+      if (!Arr)
+        return StepResult::Progress;
+      F.Locals[L->target()] =
+          Value::intV(static_cast<int64_t>(Arr->Elems.size()));
+      return StepResult::Progress;
+    }
+    case StmtKind::Acquire: {
+      const auto *Acq = cast<AcquireStmt>(S);
+      HeapObject *Obj = objectOf(F, Acq->lockVar());
+      if (!Obj)
+        return StepResult::Progress;
+      if (Obj->LockOwner == static_cast<int32_t>(Tid)) {
+        ++Obj->LockDepth; // Reentrant.
+        return StepResult::Progress;
+      }
+      if (Obj->LockOwner != -1)
+        return StepResult::Blocked;
+      Obj->LockOwner = static_cast<int32_t>(Tid);
+      Obj->LockDepth = 1;
+      ObjectId Id = static_cast<ObjectId>(local(F, Acq->lockVar()).I);
+      counters().bump("vm.syncOps");
+      traceSync(Tid, TraceEvent::Kind::Acquire);
+      if (Tool)
+        Tool->onAcquire(Tid, Id);
+      if (Gt)
+        Gt->onAcquire(Tid, Id);
+      return StepResult::Progress;
+    }
+    case StmtKind::Release: {
+      const auto *Rel = cast<ReleaseStmt>(S);
+      HeapObject *Obj = objectOf(F, Rel->lockVar());
+      if (!Obj)
+        return StepResult::Progress;
+      if (Obj->LockOwner != static_cast<int32_t>(Tid)) {
+        setError("release of a lock the thread does not hold");
+        return StepResult::Progress;
+      }
+      if (--Obj->LockDepth > 0)
+        return StepResult::Progress;
+      Obj->LockOwner = -1;
+      ObjectId Id = static_cast<ObjectId>(local(F, Rel->lockVar()).I);
+      counters().bump("vm.syncOps");
+      traceSync(Tid, TraceEvent::Kind::Release);
+      if (Tool)
+        Tool->onRelease(Tid, Id);
+      if (Gt)
+        Gt->onRelease(Tid, Id);
+      return StepResult::Progress;
+    }
+    case StmtKind::Call: {
+      const auto *C = cast<CallStmt>(S);
+      pushCall(T, C->receiver(), C->method(), C->args(), C->target());
+      return StepResult::Progress;
+    }
+    case StmtKind::Fork: {
+      const auto *Fork = cast<ForkStmt>(S);
+      Value Recv = local(F, Fork->receiver());
+      const MethodDecl *M = resolveMethod(F, Fork->receiver(),
+                                          Fork->method());
+      if (!M)
+        return StepResult::Progress;
+      auto Child = std::make_unique<ThreadCtx>();
+      Child->Tid = static_cast<ThreadId>(Threads.size());
+      Frame CF;
+      CF.Method = M;
+      CF.Locals["$g"] = Value::refV(GlobalObj);
+      CF.Locals["this"] = Recv;
+      bindArgs(F, CF, M, Fork->args());
+      CF.Tasks.push_back(Task{M->Body.get(), 0, 0});
+      Child->Frames.push_back(std::move(CF));
+      ThreadId ChildTid = Child->Tid;
+      Threads.push_back(std::move(Child));
+      counters().bump("vm.syncOps");
+      traceSync(Tid, TraceEvent::Kind::Release);
+      if (Tool)
+        Tool->onFork(Tid, ChildTid);
+      if (Gt)
+        Gt->onFork(Tid, ChildTid);
+      T.Frames.back().Locals[Fork->target()] =
+          Value::intV(static_cast<int64_t>(ChildTid));
+      return StepResult::Progress;
+    }
+    case StmtKind::Join: {
+      const auto *J = cast<JoinStmt>(S);
+      Value H = local(F, J->handle());
+      if (H.K != Value::Kind::Int || H.I < 0 ||
+          H.I >= static_cast<int64_t>(Threads.size())) {
+        setError("join on an invalid thread handle");
+        return StepResult::Progress;
+      }
+      ThreadCtx &Joined = *Threads[static_cast<size_t>(H.I)];
+      if (!Joined.Finished)
+        return StepResult::Blocked;
+      counters().bump("vm.syncOps");
+      traceSync(Tid, TraceEvent::Kind::Acquire);
+      if (Tool)
+        Tool->onJoin(Tid, Joined.Tid);
+      if (Gt)
+        Gt->onJoin(Tid, Joined.Tid);
+      return StepResult::Progress;
+    }
+    case StmtKind::Await: {
+      const auto *A = cast<AwaitStmt>(S);
+      Value BV = local(F, A->barrierVar());
+      auto It = BV.K == Value::Kind::Ref
+                    ? Barriers.find(static_cast<ObjectId>(BV.I))
+                    : Barriers.end();
+      if (It == Barriers.end()) {
+        setError("await on a non-barrier");
+        return StepResult::Progress;
+      }
+      BarrierRec &B = It->second;
+      if (!T.InBarrier) {
+        T.InBarrier = true;
+        T.WaitGen = B.Generation;
+        traceSync(Tid, TraceEvent::Kind::Release);
+        B.Arrived.push_back(Tid);
+        if (static_cast<int64_t>(B.Arrived.size()) == B.Parties) {
+          counters().bump("vm.syncOps");
+          if (Tool)
+            Tool->onBarrier(B.Arrived);
+          if (Gt)
+            Gt->onBarrier(B.Arrived);
+          B.Arrived.clear();
+          ++B.Generation;
+        }
+      }
+      if (B.Generation != T.WaitGen) {
+        T.InBarrier = false;
+        traceSync(Tid, TraceEvent::Kind::Acquire);
+        return StepResult::Progress;
+      }
+      return StepResult::Blocked;
+    }
+    case StmtKind::Check: {
+      execCheck(T, cast<CheckStmt>(S));
+      return StepResult::Progress;
+    }
+    case StmtKind::Print: {
+      const auto *P = cast<PrintStmt>(S);
+      Result.Output.push_back(eval(F, P->value()).str());
+      return StepResult::Progress;
+    }
+    case StmtKind::AssertStmt: {
+      const auto *A = cast<AssertStmtNode>(S);
+      if (!eval(F, A->cond()).truthy())
+        setError("assertion failed: " + A->cond()->str());
+      return StepResult::Progress;
+    }
+    default:
+      setError("unexpected statement kind in execSimple");
+      return StepResult::Progress;
+    }
+  }
+
+  const MethodDecl *resolveMethod(Frame &F, const std::string &ReceiverVar,
+                                  const std::string &Name) {
+    HeapObject *Obj = objectOf(F, ReceiverVar);
+    if (!Obj)
+      return nullptr;
+    if (Obj->Cls)
+      if (const MethodDecl *M = Obj->Cls->findMethod(Name))
+        return M;
+    // Fall back to any class defining the method (BFJ methods are
+    // program-unique in practice).
+    std::vector<const MethodDecl *> All = Prog.findMethodsNamed(Name);
+    if (All.empty()) {
+      setError("no method named '" + Name + "'");
+      return nullptr;
+    }
+    return All.front();
+  }
+
+  void bindArgs(Frame &Caller, Frame &Callee, const MethodDecl *M,
+                const std::vector<std::unique_ptr<Expr>> &Args) {
+    if (Args.size() != M->Params.size()) {
+      setError("wrong argument count for '" + M->Name + "'");
+      return;
+    }
+    for (size_t I = 0; I < Args.size(); ++I)
+      Callee.Locals[M->Params[I]] = eval(Caller, Args[I].get());
+  }
+
+  void pushCall(ThreadCtx &T, const std::string &ReceiverVar,
+                const std::string &Name,
+                const std::vector<std::unique_ptr<Expr>> &Args,
+                const std::string &Target) {
+    Frame &F = T.Frames.back();
+    const MethodDecl *M = resolveMethod(F, ReceiverVar, Name);
+    if (!M)
+      return;
+    Frame Callee;
+    Callee.Method = M;
+    Callee.ReturnTarget = Target;
+    Callee.Locals["$g"] = Value::refV(GlobalObj);
+    Callee.Locals["this"] = local(F, ReceiverVar);
+    bindArgs(F, Callee, M, Args);
+    Callee.Tasks.push_back(Task{M->Body.get(), 0, 0});
+    if (T.Frames.size() > 512) {
+      setError("call stack overflow");
+      return;
+    }
+    T.Frames.push_back(std::move(Callee));
+  }
+
+  void execCheck(ThreadCtx &T, const CheckStmt *Check) {
+    if (!Tool)
+      return;
+    Frame &F = T.Frames.back();
+    auto Env = [this, &F](const std::string &Name) -> std::optional<int64_t> {
+      Value V = local(F, Name);
+      if (V.K != Value::Kind::Int)
+        return std::nullopt;
+      return V.I;
+    };
+    for (const Path &P : Check->paths()) {
+      Value D = local(F, P.Designator);
+      if (D.K != Value::Kind::Ref) {
+        setError("check designator '" + P.Designator +
+                 "' is not a reference");
+        return;
+      }
+      ObjectId Id = static_cast<ObjectId>(D.I);
+      if (P.isField()) {
+        if (Opts.RecordEventTrace)
+          for (const std::string &Fld : P.Fields)
+            traceLoc(T.Tid, TraceEvent::Kind::Check, fieldLoc(Id, Fld),
+                     P.Access);
+        Tool->checkFields(T.Tid, Id, P.Fields, P.Access);
+        continue;
+      }
+      std::optional<int64_t> Begin = P.Range.Begin.evaluate(Env);
+      std::optional<int64_t> End = P.Range.End.evaluate(Env);
+      if (!Begin || !End) {
+        setError("check range bounds are not integers");
+        return;
+      }
+      if (*Begin >= *End)
+        continue; // Empty at run time (e.g. zero-trip invariant range).
+      StridedRange Concrete(*Begin, *End, P.Range.Stride);
+      if (Opts.RecordEventTrace && Concrete.size() <= 10000)
+        for (int64_t Elem : Concrete.elements())
+          traceLoc(T.Tid, TraceEvent::Kind::Check, elemLoc(Id, Elem),
+                   P.Access);
+      Tool->checkArrayRange(T.Tid, Id, Concrete, P.Access);
+    }
+  }
+};
+
+} // namespace
+
+VmResult bigfoot::runProgram(const Program &Prog, const DetectorConfig &Tool,
+                             const VmOptions &Opts) {
+  Interpreter Interp(Prog, &Tool, Opts);
+  return Interp.run();
+}
+
+VmResult bigfoot::runProgramBase(const Program &Prog, const VmOptions &Opts) {
+  Interpreter Interp(Prog, nullptr, Opts);
+  return Interp.run();
+}

@@ -1,0 +1,89 @@
+//===- Vm.h - The BFJ virtual machine ---------------------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic multithreaded interpreter for (instrumented) BFJ
+/// programs — the stand-in for RoadRunner + the JVM. Threads are
+/// interleaved by a seeded round-robin scheduler with randomized quanta;
+/// the same seed always yields the same schedule, which the differential
+/// and oracle tests rely on.
+///
+/// The VM feeds two consumers:
+///  * the attached RaceDetector (optional) receives synchronization events
+///    and the check(C) statements the instrumenter placed — this models a
+///    detector seeing only its own instrumentation;
+///  * an optional ground-truth detector receives *every* heap access
+///    directly, providing the oracle that precision tests compare against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_VM_VM_H
+#define BIGFOOT_VM_VM_H
+
+#include "bfj/Program.h"
+#include "runtime/Detector.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+/// Scheduler and feature knobs for one run.
+struct VmOptions {
+  uint64_t Seed = 1;
+  /// Maximum statements per scheduling quantum (actual quantum is
+  /// 1 + seeded-random % Quantum).
+  unsigned Quantum = 24;
+  /// Attach the per-access ground-truth FastTrack oracle.
+  bool EnableGroundTruth = false;
+  /// Abort runaway programs.
+  uint64_t MaxSteps = 200u * 1000 * 1000;
+  /// Commit each thread's deferred footprints every N statements
+  /// (0 = only at synchronization). The Section 3.3 extension for loops
+  /// that might not terminate.
+  uint64_t CommitIntervalSteps = 0;
+  /// Record the per-thread access/check/sync event trace (tests only).
+  bool RecordEventTrace = false;
+};
+
+/// One entry of the recorded event trace (RecordEventTrace). Location
+/// keys are concrete: "obj#4.f" or "arr#7[3]".
+struct TraceEvent {
+  enum class Kind { Access, Check, Acquire, Release };
+  Kind K = Kind::Access;
+  ThreadId Tid = 0;
+  AccessKind Access = AccessKind::Read;
+  std::string Loc; ///< Empty for synchronization events.
+};
+
+/// Everything a run produces.
+struct VmResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<std::string> Output; ///< print statements, in order.
+  Stats Counters;                  ///< vm.* and tool.* counters.
+  std::vector<ReportedRace> ToolRaces;
+  std::vector<ReportedRace> GroundTruthRaces;
+  std::set<std::string> ToolRacyLocations;
+  std::set<std::string> GroundTruthRacyLocations;
+  std::vector<TraceEvent> Trace; ///< When VmOptions::RecordEventTrace.
+};
+
+/// Runs \p Prog to completion under \p Opts, with \p Tool attached (may be
+/// a null config name "none" via runProgramBase).
+VmResult runProgram(const Program &Prog, const DetectorConfig &Tool,
+                    const VmOptions &Opts = VmOptions());
+
+/// Runs without any detector attached (the "base time" configuration).
+VmResult runProgramBase(const Program &Prog,
+                        const VmOptions &Opts = VmOptions());
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_VM_VM_H

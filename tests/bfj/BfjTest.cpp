@@ -1,0 +1,284 @@
+//===- BfjTest.cpp - Unit tests for the BFJ language ------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "bfj/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace bigfoot;
+
+namespace {
+
+const char *PointSource = R"(
+class Point {
+  fields x, y, z;
+  method move(dx, dy, dz) {
+    tmp = this.x;
+    this.x = tmp + dx;
+    tmp = this.y;
+    this.y = tmp + dy;
+    tmp = this.z;
+    this.z = tmp + dz;
+  }
+}
+
+thread {
+  p = new Point;
+  p.move(1, 1, 1);
+}
+)";
+
+} // namespace
+
+TEST(BfjParser, ParsesFigure1Point) {
+  ParseResult R = parseProgram(PointSource);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Prog->Classes.size(), 1u);
+  EXPECT_EQ(R.Prog->Classes[0]->Name, "Point");
+  EXPECT_EQ(R.Prog->Classes[0]->Fields.size(), 3u);
+  ASSERT_EQ(R.Prog->Classes[0]->Methods.size(), 1u);
+  EXPECT_EQ(R.Prog->Classes[0]->Methods[0]->Params.size(), 3u);
+  ASSERT_EQ(R.Prog->Threads.size(), 1u);
+}
+
+TEST(BfjParser, RoundTripsThroughPrinter) {
+  ParseResult R1 = parseProgram(PointSource);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  std::string Printed = printProgram(*R1.Prog);
+  ParseResult R2 = parseProgram(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Printed;
+  EXPECT_EQ(printProgram(*R2.Prog), Printed);
+}
+
+TEST(BfjParser, WhileDesugarsToRotatedLoop) {
+  // while (c) { s }  ==  if (c) { do { s } while (c); } — the loop
+  // rotation of Section 5 that puts the exit test after the body.
+  ParseResult R = parseProgram(R"(
+thread {
+  i = 0;
+  while (i < 10) {
+    i = i + 1;
+  }
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const auto *Block = cast<BlockStmt>(R.Prog->Threads[0].get());
+  ASSERT_EQ(Block->stmts().size(), 2u);
+  const auto *If = dyn_cast<IfStmt>(Block->stmts()[1].get());
+  ASSERT_NE(If, nullptr);
+  const auto *Loop = dyn_cast<LoopStmt>(If->thenStmt());
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_FALSE(isa<SkipStmt>(Loop->preBody()));
+  EXPECT_TRUE(isa<SkipStmt>(Loop->postBody()));
+  EXPECT_EQ(Loop->exitCond()->str(), "!((i < 10))");
+}
+
+TEST(BfjParser, DoWhilePutsBodyBeforeExit) {
+  ParseResult R = parseProgram(R"(
+thread {
+  i = 0;
+  do {
+    i = i + 1;
+  } while (i < 10);
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const auto *Block = cast<BlockStmt>(R.Prog->Threads[0].get());
+  const auto *Loop = dyn_cast<LoopStmt>(Block->stmts()[1].get());
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_FALSE(isa<SkipStmt>(Loop->preBody()));
+  EXPECT_TRUE(isa<SkipStmt>(Loop->postBody()));
+}
+
+TEST(BfjParser, MidTestLoopForm) {
+  ParseResult R = parseProgram(R"(
+thread {
+  i = 0;
+  loop {
+    i = i + 1;
+    exit_if (i == 5);
+    i = i + 1;
+  }
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(BfjParser, ChecksRoundTrip) {
+  const char *Source = R"(
+class C {
+  fields f, g;
+}
+
+thread {
+  o = new C;
+  a = new_array(10);
+  n = 10;
+  i = 2;
+  check(R o.f, W o.f/g, R a[0..n:2], W a[i]);
+}
+)";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Printed = printProgram(*R.Prog);
+  ParseResult R2 = parseProgram(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Printed;
+
+  // Dig out the check statement and inspect the parsed paths.
+  const CheckStmt *Check = nullptr;
+  R.Prog->forEachStmt([&Check](const Stmt *S) {
+    if (const auto *C = dyn_cast<CheckStmt>(S))
+      Check = C;
+  });
+  ASSERT_NE(Check, nullptr);
+  ASSERT_EQ(Check->paths().size(), 4u);
+  EXPECT_EQ(Check->paths()[0].Access, AccessKind::Read);
+  EXPECT_TRUE(Check->paths()[0].isField());
+  EXPECT_EQ(Check->paths()[1].Fields.size(), 2u);
+  EXPECT_TRUE(Check->paths()[2].isArray());
+  EXPECT_EQ(Check->paths()[2].Range.Stride, 2);
+  EXPECT_TRUE(Check->paths()[3].Range.isSingleton());
+}
+
+TEST(BfjParser, SyncStatements) {
+  ParseResult R = parseProgram(R"(
+class Worker {
+  fields dummy;
+  method run(k) {
+    x = k + 1;
+  }
+}
+
+thread {
+  w = new Worker;
+  lock = new Worker;
+  acq(lock);
+  rel(lock);
+  fork t = w.run(3);
+  join t;
+  b = new_barrier(2);
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(BfjParser, VolatileFields) {
+  ParseResult R = parseProgram(R"(
+class Flag {
+  fields data;
+  volatile fields ready;
+}
+
+thread {
+  f = new Flag;
+  f.ready = 1;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Prog->isFieldVolatileAnywhere("ready"));
+  EXPECT_FALSE(R.Prog->isFieldVolatileAnywhere("data"));
+}
+
+TEST(BfjParser, RenameStatement) {
+  ParseResult R = parseProgram(R"(
+thread {
+  i = 0;
+  i' := i;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const auto *Block = cast<BlockStmt>(R.Prog->Threads[0].get());
+  const auto *Ren = dyn_cast<RenameStmt>(Block->stmts()[1].get());
+  ASSERT_NE(Ren, nullptr);
+  EXPECT_EQ(Ren->target(), "i'");
+  EXPECT_EQ(Ren->source(), "i");
+}
+
+TEST(BfjParser, RejectsNonAffineIndex) {
+  ParseResult R = parseProgram(R"(
+thread {
+  a = new_array(10);
+  i = 2;
+  j = 3;
+  a[i * j] = 1;
+}
+)");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("affine"), std::string::npos) << R.Error;
+}
+
+TEST(BfjParser, RejectsUnknownClass) {
+  ParseResult R = parseProgram("thread { x = new Nope; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BfjParser, RejectsUnknownMethod) {
+  ParseResult R = parseProgram(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  x = o.nothing(1);
+}
+)");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BfjParser, ReportsLineNumbers) {
+  ParseResult R = parseProgram("thread {\n  x = ;\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos) << R.Error;
+}
+
+TEST(BfjAst, CloneIsDeepAndPreservesIds) {
+  ParseResult R = parseProgram(PointSource);
+  ASSERT_TRUE(R.ok());
+  unsigned Count = R.Prog->numberStatements();
+  ASSERT_GT(Count, 0u);
+  auto Copy = R.Prog->clone();
+  EXPECT_EQ(printProgram(*Copy), printProgram(*R.Prog));
+  // Ids survive the clone.
+  std::vector<unsigned> A, B;
+  R.Prog->forEachStmt([&A](const Stmt *S) { A.push_back(S->id()); });
+  Copy->forEachStmt([&B](const Stmt *S) { B.push_back(S->id()); });
+  EXPECT_EQ(A, B);
+}
+
+TEST(BfjAst, ExprMentions) {
+  auto E = binary(BinaryOp::Add, var("i"), intLit(3));
+  EXPECT_TRUE(E->mentions("i"));
+  EXPECT_FALSE(E->mentions("j"));
+}
+
+TEST(BfjAst, ToAffineHandlesLinearForms) {
+  auto E = binary(BinaryOp::Add,
+                  binary(BinaryOp::Mul, intLit(2), var("i")),
+                  binary(BinaryOp::Sub, var("j"), intLit(1)));
+  auto A = toAffine(E.get());
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(*A, AffineExpr::variable("i") * 2 + AffineExpr::variable("j") - 1);
+}
+
+TEST(BfjAst, ToAffineRejectsProducts) {
+  auto E = binary(BinaryOp::Mul, var("i"), var("j"));
+  EXPECT_FALSE(toAffine(E.get()).has_value());
+}
+
+TEST(BfjAst, TargetlessCallParses) {
+  ParseResult R = parseProgram(R"(
+class C {
+  fields f;
+  method poke() {
+    z = 1;
+  }
+}
+thread {
+  o = new C;
+  o.poke();
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}

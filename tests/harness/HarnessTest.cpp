@@ -1,0 +1,120 @@
+//===- HarnessTest.cpp - Experiment driver and support utility tests ---------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace bigfoot;
+
+TEST(Harness, RunsOneWorkloadEndToEnd) {
+  Workload W = workloadByName("tomcat", SuiteScale::Test);
+  ExperimentOptions Opts;
+  Opts.Iterations = 1;
+  ExperimentResult R = runExperiment(W, Opts);
+  ASSERT_EQ(R.Tools.size(), 6u); // Five paper tools + djit.
+  EXPECT_GT(R.Accesses, 0u);
+  EXPECT_GT(R.MethodsProcessed, 0u);
+
+  const ToolMetrics &Ft = R.tool("fasttrack");
+  const ToolMetrics &Bf = R.tool("bigfoot");
+  // FastTrack checks every access by definition.
+  EXPECT_NEAR(Ft.CheckRatio, 1.0, 1e-9);
+  // BigFoot moves and coalesces: strictly fewer events.
+  EXPECT_LT(Bf.CheckRatio, Ft.CheckRatio);
+  // Nothing races in the suite programs.
+  for (const ToolMetrics &M : R.Tools)
+    EXPECT_EQ(M.Races, 0u) << M.Tool;
+  // Ratios decompose into the array/field split.
+  EXPECT_NEAR(Ft.CheckRatio, Ft.FieldCheckRatio + Ft.ArrayCheckRatio, 1e-9);
+}
+
+TEST(Harness, CheckRatioOrderingAcrossTools) {
+  // RedCard eliminates a subset of FastTrack's checks; BigFoot at most
+  // RedCard's count. (SlimState shares FastTrack's placement.)
+  Workload W = workloadByName("batik", SuiteScale::Test);
+  ExperimentOptions Opts;
+  Opts.Iterations = 1;
+  ExperimentResult R = runExperiment(W, Opts);
+  EXPECT_LE(R.tool("redcard").CheckRatio, R.tool("fasttrack").CheckRatio);
+  EXPECT_NEAR(R.tool("slimstate").CheckRatio,
+              R.tool("fasttrack").CheckRatio, 1e-9);
+  EXPECT_LE(R.tool("bigfoot").CheckRatio, R.tool("redcard").CheckRatio);
+}
+
+TEST(Harness, ShadowOpsNeverExceedFastTrackOnCompressedTools) {
+  Workload W = workloadByName("crypt", SuiteScale::Test);
+  ExperimentOptions Opts;
+  Opts.Iterations = 1;
+  ExperimentResult R = runExperiment(W, Opts);
+  EXPECT_LT(R.tool("bigfoot").ShadowOps, R.tool("fasttrack").ShadowOps);
+  EXPECT_LE(R.tool("bigfoot").PeakShadowBytes,
+            R.tool("fasttrack").PeakShadowBytes);
+}
+
+TEST(Harness, GeomeanOverheadBehaves) {
+  EXPECT_NEAR(geomeanOverhead({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(geomeanOverhead({3.0}), 3.0, 1e-9);
+  // Non-positive entries clamp instead of blowing up.
+  EXPECT_GT(geomeanOverhead({-0.5, 1.0}), 0.0);
+  EXPECT_EQ(geomeanOverhead({}), 0.0);
+}
+
+TEST(Harness, BenchArgsParsing) {
+  const char *Argv[] = {"prog", "--small", "--iters=7", "--seed=42"};
+  BenchArgs Args = parseBenchArgs(4, const_cast<char **>(Argv));
+  EXPECT_EQ(Args.Scale, SuiteScale::Test);
+  EXPECT_EQ(Args.Opts.Iterations, 7);
+  EXPECT_EQ(Args.Opts.Seed, 42u);
+  BenchArgs Defaults = parseBenchArgs(1, const_cast<char **>(Argv));
+  EXPECT_EQ(Defaults.Scale, SuiteScale::Bench);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndHeaderRule) {
+  TablePrinter T("demo");
+  T.addRow({"Program", "X"});
+  T.addRow({"longname", "1.00"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("== demo =="), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  EXPECT_NE(Out.find("longname"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(1.2345, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TablePrinter::ratio(0.391), "(0.39)");
+}
+
+TEST(StatsTest, CountersAndGauges) {
+  Stats S;
+  S.bump("a");
+  S.bump("a", 4);
+  EXPECT_EQ(S.get("a"), 5u);
+  EXPECT_EQ(S.get("missing"), 0u);
+  S.gaugeMax("g", 10);
+  S.gaugeMax("g", 3);
+  EXPECT_EQ(S.get("g"), 10u);
+  S.clear();
+  EXPECT_EQ(S.get("a"), 0u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 2000000; ++I)
+    Sink = Sink + static_cast<uint64_t>(I);
+  EXPECT_GT(T.seconds(), 0.0);
+  T.reset();
+  EXPECT_LT(T.seconds(), 1.0);
+}

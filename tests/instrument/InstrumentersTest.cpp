@@ -1,0 +1,217 @@
+//===- InstrumentersTest.cpp - Placement-strategy unit tests -----------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrumenters.h"
+
+#include "bfj/Parser.h"
+#include "bfj/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace bigfoot;
+
+namespace {
+
+size_t checkCount(const Program &P) {
+  size_t N = 0;
+  P.forEachStmt([&N](const Stmt *S) {
+    if (const auto *C = dyn_cast<CheckStmt>(S))
+      N += C->paths().size();
+  });
+  return N;
+}
+
+size_t accessCount(const Program &P) {
+  size_t N = 0;
+  P.forEachStmt([&N](const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::FieldRead:
+    case StmtKind::FieldWrite:
+    case StmtKind::ArrayRead:
+    case StmtKind::ArrayWrite:
+      ++N;
+      break;
+    default:
+      break;
+    }
+  });
+  return N;
+}
+
+} // namespace
+
+TEST(FastTrackPlacement, OneCheckPerAccess) {
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f, g; }
+thread {
+  o = new C;
+  a = new_array(4);
+  o.f = 1;
+  t = o.g;
+  a[0] = 2;
+  u = a[1];
+}
+)");
+  InstrumentedProgram Ft = instrumentFastTrack(*Prog);
+  EXPECT_EQ(checkCount(*Ft.Prog), accessCount(*Ft.Prog));
+  EXPECT_EQ(checkCount(*Ft.Prog), 4u);
+}
+
+TEST(FastTrackPlacement, VolatileAccessesNotChecked) {
+  auto Prog = parseProgramOrDie(R"(
+class C {
+  fields d;
+  volatile fields v;
+}
+thread {
+  o = new C;
+  o.v = 1;
+  o.d = 2;
+}
+)");
+  InstrumentedProgram Ft = instrumentFastTrack(*Prog);
+  EXPECT_EQ(checkCount(*Ft.Prog), 1u) << printProgram(*Ft.Prog);
+}
+
+TEST(RedCardPlacement, EliminatesRereadInSpan) {
+  // Second read of the same location within a release-free span is
+  // redundant (the paper's core RedCard observation).
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  t = o.f;
+  u = o.f;
+}
+)");
+  InstrumentedProgram Rc = instrumentRedCard(*Prog);
+  EXPECT_EQ(checkCount(*Rc.Prog), 1u) << printProgram(*Rc.Prog);
+}
+
+TEST(RedCardPlacement, WriteAfterReadStillChecked) {
+  // A read check does not cover a later write.
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  t = o.f;
+  o.f = t + 1;
+  u = o.f;
+}
+)");
+  InstrumentedProgram Rc = instrumentRedCard(*Prog);
+  // Read check + write check; the final read is covered by the write
+  // check.
+  EXPECT_EQ(checkCount(*Rc.Prog), 2u) << printProgram(*Rc.Prog);
+}
+
+TEST(RedCardPlacement, ReleaseEndsTheSpan) {
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  lock = new C;
+  t = o.f;
+  acq(lock);
+  rel(lock);
+  u = o.f;
+}
+)");
+  InstrumentedProgram Rc = instrumentRedCard(*Prog);
+  EXPECT_EQ(checkCount(*Rc.Prog), 2u) << printProgram(*Rc.Prog);
+}
+
+TEST(RedCardPlacement, AcquireAloneDoesNotEndCoverage) {
+  // A check covers later accesses until a RELEASE; an acquire between
+  // them is fine ("check precedes the access with no intervening
+  // release").
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  lock = new C;
+  t = o.f;
+  acq(lock);
+  u = o.f;
+  rel(lock);
+}
+)");
+  InstrumentedProgram Rc = instrumentRedCard(*Prog);
+  EXPECT_EQ(checkCount(*Rc.Prog), 1u) << printProgram(*Rc.Prog);
+}
+
+TEST(RedCardPlacement, RedundancyAcrossLoopIterations) {
+  // The loop-invariant re-read of o.f is checked once before/inside the
+  // first iteration and recognized as covered on later ones.
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  i = 0;
+  s = 0;
+  while (i < 10) {
+    t = o.f;
+    s = s + t;
+    i = i + 1;
+  }
+}
+)");
+  InstrumentedProgram Rc = instrumentRedCard(*Prog);
+  EXPECT_EQ(checkCount(*Rc.Prog), 1u) << printProgram(*Rc.Prog);
+}
+
+TEST(RedCardPlacement, AliasedRereadEliminated) {
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f, g; }
+thread {
+  a = new C;
+  x = a.f;
+  s = x.g;
+  y = a.f;
+  t = y.g;
+}
+)");
+  InstrumentedProgram Rc = instrumentRedCard(*Prog);
+  // Checks: a.f once, x.g once; y.g covered through x = y.
+  EXPECT_EQ(checkCount(*Rc.Prog), 2u) << printProgram(*Rc.Prog);
+}
+
+TEST(Placement, ToolConfigsMatchStrategies) {
+  auto Prog = parseProgramOrDie(R"(
+class C { fields f; }
+thread { o = new C; o.f = 1; }
+)");
+  EXPECT_FALSE(instrumentFastTrack(*Prog).Tool.DeferArrayChecks);
+  EXPECT_FALSE(instrumentFastTrack(*Prog).Tool.AdaptiveArrayShadow);
+  EXPECT_TRUE(instrumentSlimState(*Prog).Tool.DeferArrayChecks);
+  EXPECT_TRUE(instrumentSlimCard(*Prog).Tool.AdaptiveArrayShadow);
+  EXPECT_TRUE(instrumentBigFoot(*Prog).Tool.DeferArrayChecks);
+  EXPECT_EQ(instrumentRedCard(*Prog).Tool.Name, "redcard");
+}
+
+TEST(Placement, BigFootNeverChecksMoreThanRedCard) {
+  // On every suite-shaped body BigFoot's path count is at most
+  // RedCard's (it eliminates strictly more and coalesces).
+  const char *Source = R"(
+class C { fields f, g; }
+thread {
+  o = new C;
+  n = 16;
+  a = new_array(n);
+  i = 0;
+  while (i < n) {
+    a[i] = i;
+    t = o.f;
+    o.g = t;
+    i = i + 1;
+  }
+}
+)";
+  auto Prog = parseProgramOrDie(Source);
+  size_t Rc = checkCount(*instrumentRedCard(*Prog).Prog);
+  size_t Bf = checkCount(*instrumentBigFoot(*Prog).Prog);
+  EXPECT_LE(Bf, Rc);
+}

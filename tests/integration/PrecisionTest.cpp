@@ -1,0 +1,527 @@
+//===- PrecisionTest.cpp - Trace/address precision oracle tests -------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Section 2's correctness criterion, checked dynamically: for every
+// execution trace, the instrumented program has a check race iff the
+// trace has a data race (trace precision), and the racy locations agree
+// (address precision). The oracle is a per-access FastTrack detector run
+// on the same trace inside the same VM run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrumenters.h"
+
+#include "bfj/Parser.h"
+#include "bfj/Printer.h"
+#include "support/Rng.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace bigfoot;
+
+namespace {
+
+/// Maps ground-truth location keys through a tool's field-proxy table so
+/// they compare against the tool's (proxy-granular) reports.
+std::set<std::string>
+mapThroughProxies(const std::set<std::string> &Keys,
+                  const std::map<std::string, std::string> &Proxy) {
+  std::set<std::string> Out;
+  for (const std::string &Key : Keys) {
+    size_t Dot = Key.rfind('.');
+    if (Dot == std::string::npos || Key.rfind("obj#", 0) != 0) {
+      Out.insert(Key);
+      continue;
+    }
+    std::string Field = Key.substr(Dot + 1);
+    auto It = Proxy.find(Field);
+    Out.insert(It == Proxy.end() ? Key : Key.substr(0, Dot + 1) + It->second);
+  }
+  return Out;
+}
+
+/// Runs one instrumented program with the oracle attached and asserts the
+/// precision criteria. Returns the tool's racy locations.
+std::set<std::string> checkPrecision(const InstrumentedProgram &IP,
+                                     uint64_t Seed,
+                                     const std::string &Label) {
+  VmOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Quantum = 5;
+  Opts.EnableGroundTruth = true;
+  VmResult R = runProgram(*IP.Prog, IP.Tool, Opts);
+  EXPECT_TRUE(R.Ok) << Label << ": " << R.Error << "\n"
+                    << printProgram(*IP.Prog);
+  std::set<std::string> Expected =
+      mapThroughProxies(R.GroundTruthRacyLocations, IP.Tool.FieldProxy);
+  std::set<std::string> Got = R.ToolRacyLocations;
+  // Trace precision: a race exists iff the oracle saw one.
+  EXPECT_EQ(Got.empty(), Expected.empty())
+      << Label << " seed " << Seed << "\ntool: " << IP.Tool.Name
+      << "\nprogram:\n"
+      << printProgram(*IP.Prog);
+  // No false alarms: every reported location is genuinely racy.
+  for (const std::string &Key : Got)
+    EXPECT_TRUE(Expected.count(Key))
+        << Label << ": false alarm on " << Key << " (tool " << IP.Tool.Name
+        << ", seed " << Seed << ")\n"
+        << printProgram(*IP.Prog);
+  // Address precision: every racy location is reported.
+  for (const std::string &Key : Expected)
+    EXPECT_TRUE(Got.count(Key))
+        << Label << ": missed race on " << Key << " (tool " << IP.Tool.Name
+        << ", seed " << Seed << ")\n"
+        << printProgram(*IP.Prog);
+  return Got;
+}
+
+void checkAllTools(const char *Source, const std::string &Label,
+                   std::initializer_list<uint64_t> Seeds = {1, 13, 77}) {
+  auto Prog = parseProgramOrDie(Source);
+  for (uint64_t Seed : Seeds) {
+    for (InstrumentedProgram &IP : instrumentAll(*Prog))
+      checkPrecision(IP, Seed, Label);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Hand-written scenarios.
+//===----------------------------------------------------------------------===
+
+TEST(Precision, UnprotectedFieldRace) {
+  checkAllTools(R"(
+class O { fields f; }
+class W {
+  fields dummy;
+  method run(o) {
+    o.f = 1;
+    t = o.f;
+  }
+}
+thread {
+  o = new O;
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(o);
+  fork t2 = w2.run(o);
+  join t1;
+  join t2;
+}
+)",
+                "unprotected field");
+}
+
+TEST(Precision, LockProtectedFieldIsClean) {
+  checkAllTools(R"(
+class O { fields f; }
+class W {
+  fields dummy;
+  method run(o, lock) {
+    acq(lock);
+    v = o.f;
+    o.f = v + 1;
+    rel(lock);
+  }
+}
+thread {
+  o = new O;
+  lock = new O;
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(o, lock);
+  fork t2 = w2.run(o, lock);
+  join t1;
+  join t2;
+  total = o.f;
+  assert total == 2;
+}
+)",
+                "lock protected field");
+}
+
+TEST(Precision, DisjointArrayHalvesAreClean) {
+  checkAllTools(R"(
+class W {
+  fields dummy;
+  method run(a, lo, hi) {
+    i = lo;
+    while (i < hi) {
+      a[i] = i;
+      i = i + 1;
+    }
+  }
+}
+thread {
+  a = new_array(64);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(a, 0, 32);
+  fork t2 = w2.run(a, 32, 64);
+  join t1;
+  join t2;
+}
+)",
+                "disjoint halves");
+}
+
+TEST(Precision, OverlappingArrayWritesRace) {
+  checkAllTools(R"(
+class W {
+  fields dummy;
+  method run(a, lo, hi) {
+    i = lo;
+    while (i < hi) {
+      a[i] = i;
+      i = i + 1;
+    }
+  }
+}
+thread {
+  a = new_array(64);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(a, 0, 40);
+  fork t2 = w2.run(a, 24, 64);
+  join t1;
+  join t2;
+}
+)",
+                "overlapping ranges");
+}
+
+TEST(Precision, StridedInterleavedWritesAreClean) {
+  checkAllTools(R"(
+class W {
+  fields dummy;
+  method run(a, start, n) {
+    i = start;
+    while (i < n) {
+      a[i] = i;
+      i = i + 2;
+    }
+  }
+}
+thread {
+  a = new_array(64);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(a, 0, 64);
+  fork t2 = w2.run(a, 1, 64);
+  join t1;
+  join t2;
+}
+)",
+                "strided disjoint");
+}
+
+TEST(Precision, BarrierPhasedAccessIsClean) {
+  checkAllTools(R"(
+class W {
+  fields acc;
+  method run(b, a, mine, other, n) {
+    i = mine;
+    while (i < n) {
+      a[i] = i;
+      i = i + 2;
+    }
+    await b;
+    s = 0;
+    j = other;
+    while (j < n) {
+      v = a[j];
+      s = s + v;
+      j = j + 2;
+    }
+    this.acc = s;
+  }
+}
+thread {
+  b = new_barrier(2);
+  a = new_array(32);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(b, a, 0, 1, 32);
+  fork t2 = w2.run(b, a, 1, 0, 32);
+  join t1;
+  join t2;
+}
+)",
+                "barrier phased");
+}
+
+TEST(Precision, MissingBarrierRaces) {
+  checkAllTools(R"(
+class W {
+  fields acc;
+  method run(a, mine, other, n) {
+    i = mine;
+    while (i < n) {
+      a[i] = i;
+      i = i + 2;
+    }
+    s = 0;
+    j = other;
+    while (j < n) {
+      v = a[j];
+      s = s + v;
+      j = j + 2;
+    }
+    this.acc = s;
+  }
+}
+thread {
+  a = new_array(32);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(a, 0, 1, 32);
+  fork t2 = w2.run(a, 1, 0, 32);
+  join t1;
+  join t2;
+}
+)",
+                "missing barrier");
+}
+
+TEST(Precision, ReadSharedDataIsClean) {
+  checkAllTools(R"(
+class W {
+  fields sum;
+  method run(a, n) {
+    s = 0;
+    i = 0;
+    while (i < n) {
+      v = a[i];
+      s = s + v;
+      i = i + 1;
+    }
+    this.sum = s;
+  }
+}
+thread {
+  n = 48;
+  a = new_array(n);
+  i = 0;
+  while (i < n) {
+    a[i] = i;
+    i = i + 1;
+  }
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(a, n);
+  fork t2 = w2.run(a, n);
+  join t1;
+  join t2;
+  x = w1.sum;
+  y = w2.sum;
+  assert x == y;
+}
+)",
+                "read shared");
+}
+
+TEST(Precision, VolatilePublicationIsClean) {
+  checkAllTools(R"(
+class Box {
+  fields data;
+  volatile fields ready;
+  method produce() {
+    this.data = 42;
+    this.ready = 1;
+  }
+  method consume() {
+    r = 0;
+    while (r == 0) {
+      r = this.ready;
+    }
+    d = this.data;
+    return d;
+  }
+}
+thread {
+  b = new Box;
+  fork t1 = b.produce();
+  fork t2 = b.consume();
+  join t1;
+  join t2;
+}
+)",
+                "volatile publication");
+}
+
+TEST(Precision, BrokenPublicationRaces) {
+  checkAllTools(R"(
+class Box {
+  fields data, ready;
+  method produce() {
+    this.data = 42;
+    this.ready = 1;
+  }
+  method consume() {
+    r = this.ready;
+    d = this.data;
+    k = r + d;
+    return k;
+  }
+}
+thread {
+  b = new Box;
+  fork t1 = b.produce();
+  fork t2 = b.consume();
+  join t1;
+  join t2;
+}
+)",
+                "broken publication");
+}
+
+TEST(Precision, PredicateGuardedLoopAccess) {
+  // The paper's Section 1 footprinting example: statically uncoalescible
+  // accesses guarded by a data-dependent predicate.
+  checkAllTools(R"(
+class W {
+  fields dummy;
+  method run(a, n, phase) {
+    i = 0;
+    while (i < n) {
+      m = i % 2;
+      if (m == phase) {
+        a[i] = i;
+      }
+      i = i + 1;
+    }
+  }
+}
+thread {
+  a = new_array(40);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(a, 40, 0);
+  fork t2 = w2.run(a, 40, 1);
+  join t1;
+  join t2;
+}
+)",
+                "predicate guarded");
+}
+
+//===----------------------------------------------------------------------===
+// Randomized property sweep: generated programs, all tools, many seeds.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Generates a random two-worker program over one shared object, one
+/// shared array, and one lock. Each worker body is a random mix of
+/// guarded/unguarded field and array accesses and loops.
+std::string generateProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::ostringstream OS;
+  OS << "class O { fields f0, f1, f2; }\n";
+  OS << "class W {\n  fields pad;\n  method run(o, a, lock, n) {\n";
+  int Stmts = 3 + static_cast<int>(R.nextBelow(5));
+  for (int S = 0; S < Stmts; ++S) {
+    bool Guarded = R.chance(1, 2);
+    if (Guarded)
+      OS << "    acq(lock);\n";
+    switch (R.nextBelow(5)) {
+    case 0:
+      OS << "    o.f" << R.nextBelow(3) << " = " << R.nextBelow(100)
+         << ";\n";
+      break;
+    case 1:
+      OS << "    v" << S << " = o.f" << R.nextBelow(3) << ";\n";
+      break;
+    case 2: {
+      // Bounded loop over a prefix of the array.
+      int64_t Step = R.chance(1, 3) ? 2 : 1;
+      OS << "    i" << S << " = 0;\n";
+      OS << "    while (i" << S << " < n) {\n";
+      if (R.chance(1, 2))
+        OS << "      a[i" << S << "] = i" << S << ";\n";
+      else
+        OS << "      w" << S << " = a[i" << S << "];\n";
+      OS << "      i" << S << " = i" << S << " + " << Step << ";\n";
+      OS << "    }\n";
+      break;
+    }
+    case 3:
+      OS << "    a[" << R.nextBelow(8) << "] = 5;\n";
+      break;
+    case 4:
+      OS << "    u" << S << " = a[" << R.nextBelow(8) << "];\n";
+      break;
+    }
+    if (Guarded)
+      OS << "    rel(lock);\n";
+  }
+  OS << "  }\n}\n";
+  OS << "thread {\n"
+     << "  o = new O;\n  lock = new O;\n  a = new_array(16);\n"
+     << "  w1 = new W;\n  w2 = new W;\n"
+     << "  fork t1 = w1.run(o, a, lock, 16);\n"
+     << "  fork t2 = w2.run(o, a, lock, 16);\n"
+     << "  join t1;\n  join t2;\n}\n";
+  return OS.str();
+}
+
+} // namespace
+
+class PrecisionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrecisionProperty, RandomProgramsAllToolsPrecise) {
+  uint64_t Base = GetParam();
+  for (uint64_t Inner = 0; Inner < 8; ++Inner) {
+    uint64_t ProgSeed = Base * 1000 + Inner;
+    std::string Source = generateProgram(ProgSeed);
+    ParseResult PR = parseProgram(Source);
+    ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Source;
+    for (InstrumentedProgram &IP : instrumentAll(*PR.Prog))
+      checkPrecision(IP, /*Seed=*/ProgSeed + 7,
+                     "random#" + std::to_string(ProgSeed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrecisionProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+//===----------------------------------------------------------------------===
+// Differential: all five tools agree on racy-location sets per trace.
+//===----------------------------------------------------------------------===
+
+TEST(Precision, ToolsAgreeWithOracleOnRacyPrograms) {
+  auto Prog = parseProgramOrDie(R"(
+class O { fields f, g; }
+class W {
+  fields dummy;
+  method run(o, a, n) {
+    o.f = 1;
+    i = 0;
+    while (i < n) {
+      a[i] = i;
+      i = i + 1;
+    }
+    t = o.g;
+  }
+}
+thread {
+  o = new O;
+  a = new_array(24);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(o, a, 24);
+  fork t2 = w2.run(o, a, 24);
+  join t1;
+  join t2;
+}
+)");
+  for (InstrumentedProgram &IP : instrumentAll(*Prog)) {
+    std::set<std::string> Racy = checkPrecision(IP, 42, "agree");
+    EXPECT_FALSE(Racy.empty()) << IP.Tool.Name;
+  }
+}

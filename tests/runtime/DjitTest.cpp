@@ -1,0 +1,139 @@
+//===- DjitTest.cpp - DJIT+ baseline tests ------------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// DJIT+ [Pozniansky-Schuster 07] is the vector-clock-per-location
+// ancestor of every detector in the paper; FastTrack's contribution was
+// replacing most of those clocks with epochs. This extra baseline pins
+// the equivalence of the two on race verdicts and the space gap between
+// them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "instrument/Instrumenters.h"
+#include "runtime/Detector.h"
+#include "support/Rng.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace bigfoot;
+
+TEST(Djit, DetectsWriteWriteRace) {
+  Stats S;
+  RaceDetector D(djitConfig(), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"f"}, AccessKind::Write);
+  ASSERT_EQ(D.races().size(), 1u);
+  EXPECT_EQ(D.races()[0].Kind, RaceKind::WriteWrite);
+}
+
+TEST(Djit, OrderedAccessesClean) {
+  Stats S;
+  RaceDetector D(djitConfig(), S);
+  D.onAcquire(0, 50);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.onRelease(0, 50);
+  D.onAcquire(1, 50);
+  D.checkFields(1, 1, {"f"}, AccessKind::Write);
+  D.onRelease(1, 50);
+  EXPECT_TRUE(D.races().empty());
+}
+
+TEST(Djit, MultipleWritersAllTracked) {
+  // DJIT+ keeps every thread's last write; a third thread ordered after
+  // only ONE of two racing writers must still conflict with the other.
+  Stats S;
+  RaceDetector D(djitConfig(), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"f"}, AccessKind::Write); // Races with T0.
+  EXPECT_EQ(D.races().size(), 1u);
+  // T2 synchronizes with T1 only (via a lock T1 releases).
+  D.onRelease(1, 77);
+  D.onAcquire(2, 77);
+  D.checkFields(2, 1, {"f"}, AccessKind::Write); // Still races with T0.
+  EXPECT_GE(D.races().size(), 1u);
+}
+
+TEST(Djit, AgreesWithFastTrackOnRandomStreams) {
+  // Property: DJIT+ and FastTrack produce the same per-location verdict
+  // on any access stream (FastTrack's epochs are an exact optimization).
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    Rng R(Seed);
+    Stats S1, S2;
+    RaceDetector Djit(djitConfig(), S1);
+    RaceDetector Ft(fastTrackConfig(), S2);
+    for (int Op = 0; Op < 30; ++Op) {
+      ThreadId T = static_cast<ThreadId>(R.nextBelow(3));
+      switch (R.nextBelow(4)) {
+      case 0:
+        Djit.checkFields(T, 1, {"f"}, AccessKind::Read);
+        Ft.checkFields(T, 1, {"f"}, AccessKind::Read);
+        break;
+      case 1:
+        Djit.checkFields(T, 1, {"f"}, AccessKind::Write);
+        Ft.checkFields(T, 1, {"f"}, AccessKind::Write);
+        break;
+      case 2:
+        Djit.onAcquire(T, 9);
+        Ft.onAcquire(T, 9);
+        break;
+      case 3:
+        Djit.onRelease(T, 9);
+        Ft.onRelease(T, 9);
+        break;
+      }
+    }
+    EXPECT_EQ(Djit.races().empty(), Ft.races().empty()) << "seed " << Seed;
+  }
+}
+
+TEST(Djit, UsesMoreShadowMemoryThanFastTrack) {
+  Stats S1, S2;
+  RaceDetector Djit(djitConfig(), S1);
+  RaceDetector Ft(fastTrackConfig(), S2);
+  for (ObjectId Obj = 1; Obj <= 64; ++Obj) {
+    Djit.checkFields(0, Obj, {"f"}, AccessKind::Write);
+    Ft.checkFields(0, Obj, {"f"}, AccessKind::Write);
+  }
+  EXPECT_GT(Djit.shadowBytes(), Ft.shadowBytes())
+      << "vector clocks everywhere cost more than epochs";
+}
+
+TEST(Djit, PreciseOnWorkloadWithOracle) {
+  auto Prog = parseProgramOrDie(R"(
+class O { fields f; }
+class W {
+  fields dummy;
+  method run(o, lock, reps) {
+    i = 0;
+    while (i < reps) {
+      acq(lock);
+      v = o.f;
+      o.f = v + 1;
+      rel(lock);
+      i = i + 1;
+    }
+  }
+}
+thread {
+  o = new O;
+  lock = new O;
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(o, lock, 20);
+  fork t2 = w2.run(o, lock, 20);
+  join t1;
+  join t2;
+}
+)");
+  InstrumentedProgram IP = instrumentFastTrack(*Prog);
+  IP.Tool = djitConfig();
+  VmOptions Opts;
+  Opts.EnableGroundTruth = true;
+  VmResult Run = runProgram(*IP.Prog, IP.Tool, Opts);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  EXPECT_TRUE(Run.ToolRaces.empty());
+  EXPECT_TRUE(Run.GroundTruthRaces.empty());
+}

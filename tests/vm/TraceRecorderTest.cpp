@@ -1,0 +1,159 @@
+//===- TraceRecorderTest.cpp - Event trace recorder tests ---------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "instrument/Instrumenters.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace bigfoot;
+
+namespace {
+
+VmResult runTraced(const char *Source) {
+  auto Prog = parseProgramOrDie(Source);
+  InstrumentedProgram IP = instrumentFastTrack(*Prog);
+  VmOptions Opts;
+  Opts.RecordEventTrace = true;
+  return runProgram(*IP.Prog, IP.Tool, Opts);
+}
+
+size_t countKind(const VmResult &R, TraceEvent::Kind K) {
+  size_t N = 0;
+  for (const TraceEvent &E : R.Trace)
+    N += E.K == K ? 1 : 0;
+  return N;
+}
+
+} // namespace
+
+TEST(TraceRecorder, RecordsAccessesChecksAndSync) {
+  VmResult R = runTraced(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  acq(o);
+  o.f = 1;
+  t = o.f;
+  rel(o);
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Access), 2u);
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Check), 2u);
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Acquire), 1u);
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Release), 1u);
+}
+
+TEST(TraceRecorder, ChecksPrecedeAccessesUnderFastTrack) {
+  VmResult R = runTraced(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  o.f = 7;
+}
+)");
+  ASSERT_TRUE(R.Ok);
+  // Exactly one check immediately before the access.
+  std::vector<TraceEvent::Kind> Kinds;
+  for (const TraceEvent &E : R.Trace)
+    Kinds.push_back(E.K);
+  ASSERT_EQ(Kinds.size(), 2u);
+  EXPECT_EQ(Kinds[0], TraceEvent::Kind::Check);
+  EXPECT_EQ(Kinds[1], TraceEvent::Kind::Access);
+}
+
+TEST(TraceRecorder, LocationKeysAreConcrete) {
+  VmResult R = runTraced(R"(
+thread {
+  a = new_array(4);
+  a[2] = 9;
+}
+)");
+  ASSERT_TRUE(R.Ok);
+  bool SawElem = false;
+  for (const TraceEvent &E : R.Trace)
+    if (E.K == TraceEvent::Kind::Access)
+      SawElem = E.Loc.find("[2]") != std::string::npos;
+  EXPECT_TRUE(SawElem);
+}
+
+TEST(TraceRecorder, VolatileAccessesBecomeSyncEvents) {
+  VmResult R = runTraced(R"(
+class C {
+  fields d;
+  volatile fields v;
+}
+thread {
+  o = new C;
+  o.v = 1;
+  t = o.v;
+}
+)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Release), 1u); // Volatile write.
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Acquire), 1u); // Volatile read.
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Access), 0u);
+}
+
+TEST(TraceRecorder, BarrierEmitsReleaseThenAcquirePerParty) {
+  auto Prog = parseProgramOrDie(R"(
+class W {
+  fields dummy;
+  method run(b) {
+    await b;
+  }
+}
+thread {
+  b = new_barrier(2);
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(b);
+  fork t2 = w2.run(b);
+  join t1;
+  join t2;
+}
+)");
+  InstrumentedProgram IP = instrumentBigFoot(*Prog);
+  VmOptions Opts;
+  Opts.RecordEventTrace = true;
+  VmResult R = runProgram(*IP.Prog, IP.Tool, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Releases: 2 forks (main) + 2 barrier arrivals. Acquires: 2 barrier
+  // passes + 2 joins (main).
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Release), 4u);
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Acquire), 4u);
+}
+
+TEST(TraceRecorder, RangeChecksExpandPerElement) {
+  auto Prog = parseProgramOrDie(R"(
+thread {
+  n = 6;
+  a = new_array(n);
+  i = 0;
+  while (i < n) {
+    a[i] = i;
+    i = i + 1;
+  }
+}
+)");
+  InstrumentedProgram IP = instrumentBigFoot(*Prog);
+  VmOptions Opts;
+  Opts.RecordEventTrace = true;
+  VmResult R = runProgram(*IP.Prog, IP.Tool, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // The single coalesced check expands to one trace entry per element so
+  // the oracle can match accesses exactly.
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Check), 6u);
+  EXPECT_EQ(countKind(R, TraceEvent::Kind::Access), 6u);
+}
+
+TEST(TraceRecorder, OffByDefault) {
+  auto Prog = parseProgramOrDie("thread { x = 1; }");
+  VmResult R = runProgramBase(*Prog);
+  EXPECT_TRUE(R.Trace.empty());
+}

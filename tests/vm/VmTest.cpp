@@ -1,0 +1,466 @@
+//===- VmTest.cpp - BFJ virtual machine tests --------------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "bfj/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace bigfoot;
+
+namespace {
+
+VmResult runSource(const char *Source, VmOptions Opts = VmOptions()) {
+  auto Prog = parseProgramOrDie(Source);
+  return runProgramBase(*Prog, Opts);
+}
+
+} // namespace
+
+TEST(Vm, ArithmeticAndPrint) {
+  VmResult R = runSource(R"(
+thread {
+  x = 2 + 3 * 4;
+  print x;
+  y = (x - 4) / 5;
+  print y;
+  print x % 5;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"14", "2", "4"}));
+}
+
+TEST(Vm, WhileLoopComputesSum) {
+  VmResult R = runSource(R"(
+thread {
+  i = 0;
+  sum = 0;
+  while (i < 10) {
+    sum = sum + i;
+    i = i + 1;
+  }
+  print sum;
+  assert sum == 45;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"45"}));
+}
+
+TEST(Vm, DoWhileRunsBodyOnce) {
+  VmResult R = runSource(R"(
+thread {
+  i = 100;
+  do {
+    i = i + 1;
+  } while (i < 10);
+  print i;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"101"}));
+}
+
+TEST(Vm, ObjectsFieldsAndMethods) {
+  VmResult R = runSource(R"(
+class Point {
+  fields x, y;
+  method sum() {
+    a = this.x;
+    b = this.y;
+    s = a + b;
+    return s;
+  }
+}
+thread {
+  p = new Point;
+  p.x = 3;
+  p.y = 4;
+  t = p.sum();
+  print t;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"7"}));
+}
+
+TEST(Vm, ArraysAndLen) {
+  VmResult R = runSource(R"(
+thread {
+  a = new_array(5);
+  n = len(a);
+  i = 0;
+  while (i < n) {
+    a[i] = i * i;
+    i = i + 1;
+  }
+  v = a[4];
+  print v;
+  print n;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"16", "5"}));
+  EXPECT_EQ(R.Counters.get("vm.accesses.array"), 6u);
+}
+
+TEST(Vm, RecursionWorks) {
+  VmResult R = runSource(R"(
+class Math {
+  fields dummy;
+  method fib(n) {
+    if (n < 2) {
+      r = n;
+    } else {
+      a = this.fib(n - 1);
+      b = this.fib(n - 2);
+      r = a + b;
+    }
+    return r;
+  }
+}
+thread {
+  m = new Math;
+  f = m.fib(10);
+  print f;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"55"}));
+}
+
+TEST(Vm, ForkJoinComputesInParallel) {
+  VmResult R = runSource(R"(
+class Worker {
+  fields out;
+  method run(k) {
+    this.out = k * 10;
+  }
+}
+thread {
+  w1 = new Worker;
+  w2 = new Worker;
+  fork t1 = w1.run(1);
+  fork t2 = w2.run(2);
+  join t1;
+  join t2;
+  a = w1.out;
+  b = w2.out;
+  print a + b;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"30"}));
+}
+
+TEST(Vm, LocksAreMutuallyExclusive) {
+  // Two threads increment a counter 100 times each under a lock; the
+  // total must be exactly 200 under every schedule.
+  const char *Source = R"(
+class Counter {
+  fields n;
+  method bump(times) {
+    i = 0;
+    while (i < times) {
+      acq(this);
+      v = this.n;
+      this.n = v + 1;
+      rel(this);
+      i = i + 1;
+    }
+  }
+}
+thread {
+  c = new Counter;
+  fork t1 = c.bump(100);
+  fork t2 = c.bump(100);
+  join t1;
+  join t2;
+  total = c.n;
+  print total;
+}
+)";
+  for (uint64_t Seed : {1u, 7u, 1234u}) {
+    VmOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Quantum = 3; // Aggressive interleaving.
+    VmResult R = runSource(Source, Opts);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Output, (std::vector<std::string>{"200"})) << Seed;
+  }
+}
+
+TEST(Vm, BarrierSynchronizesPhases) {
+  VmResult R = runSource(R"(
+class Worker {
+  fields dummy;
+  method run(b, a, idx, other) {
+    a[idx] = idx + 1;
+    await b;
+    v = a[other];
+    this.dummy = v;
+  }
+}
+thread {
+  b = new_barrier(2);
+  a = new_array(2);
+  w1 = new Worker;
+  w2 = new Worker;
+  fork t1 = w1.run(b, a, 0, 1);
+  fork t2 = w2.run(b, a, 1, 0);
+  join t1;
+  join t2;
+  x = w1.dummy;
+  y = w2.dummy;
+  print x + y;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"3"}));
+}
+
+TEST(Vm, VolatilePublication) {
+  VmResult R = runSource(R"(
+class Box {
+  fields data;
+  volatile fields ready;
+  method produce() {
+    this.data = 42;
+    this.ready = 1;
+  }
+  method consume() {
+    r = 0;
+    while (r == 0) {
+      r = this.ready;
+    }
+    d = this.data;
+    return d;
+  }
+}
+thread {
+  b = new Box;
+  fork t1 = b.produce();
+  fork t2 = b.consume();
+  join t1;
+  join t2;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Counters.get("vm.syncOps"), 0u);
+}
+
+TEST(Vm, DeadlockIsReported) {
+  VmResult R = runSource(R"(
+class L { fields f; }
+class W {
+  fields dummy;
+  method grab(a, b) {
+    acq(a);
+    acq(b);
+    rel(b);
+    rel(a);
+  }
+}
+thread {
+  l1 = new L;
+  l2 = new L;
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.grab(l1, l2);
+  fork t2 = w2.grab(l2, l1);
+  join t1;
+  join t2;
+}
+)", [] {
+    VmOptions O;
+    O.Seed = 3;
+    O.Quantum = 1; // Force the interleaving that deadlocks.
+    return O;
+  }());
+  // Either it deadlocks (reported) or a lucky schedule finishes; with
+  // quantum 1 both threads grab their first lock in turn.
+  if (!R.Ok) {
+    EXPECT_NE(R.Error.find("deadlock"), std::string::npos) << R.Error;
+  }
+}
+
+TEST(Vm, OutOfBoundsIsRuntimeError) {
+  VmResult R = runSource(R"(
+thread {
+  a = new_array(3);
+  a[5] = 1;
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Vm, AssertFailureIsRuntimeError) {
+  VmResult R = runSource("thread { x = 1; assert x == 2; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("assertion"), std::string::npos);
+}
+
+TEST(Vm, GlobalObjectIsShared) {
+  VmResult R = runSource(R"(
+class W {
+  fields dummy;
+  method run() {
+    $g.counter = 41;
+  }
+}
+thread {
+  w = new W;
+  fork t = w.run();
+  join t;
+  v = $g.counter;
+  print v + 1;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"42"}));
+}
+
+TEST(Vm, DeterministicAcrossRunsSameSeed) {
+  const char *Source = R"(
+class W {
+  fields n;
+  method run(reps) {
+    i = 0;
+    while (i < reps) {
+      acq(this);
+      v = this.n;
+      this.n = v + 1;
+      rel(this);
+      i = i + 1;
+    }
+  }
+}
+thread {
+  w = new W;
+  fork t1 = w.run(10);
+  fork t2 = w.run(10);
+  join t1;
+  join t2;
+}
+)";
+  auto Prog = parseProgramOrDie(Source);
+  VmOptions Opts;
+  Opts.Seed = 99;
+  VmResult A = runProgramBase(*Prog, Opts);
+  VmResult B = runProgramBase(*Prog, Opts);
+  ASSERT_TRUE(A.Ok);
+  EXPECT_EQ(A.Counters.get("vm.accesses"), B.Counters.get("vm.accesses"));
+  EXPECT_EQ(A.Counters.get("vm.syncOps"), B.Counters.get("vm.syncOps"));
+}
+
+TEST(Vm, GroundTruthSeesRace) {
+  VmOptions Opts;
+  Opts.EnableGroundTruth = true;
+  auto Prog = parseProgramOrDie(R"(
+class W {
+  fields dummy;
+  method run(o) {
+    o.f = 1;
+  }
+}
+class O { fields f; }
+thread {
+  o = new O;
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(o);
+  fork t2 = w2.run(o);
+  join t1;
+  join t2;
+}
+)");
+  VmResult R = runProgramBase(*Prog, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.GroundTruthRaces.empty());
+}
+
+TEST(Vm, GroundTruthCleanOnSynchronizedProgram) {
+  VmOptions Opts;
+  Opts.EnableGroundTruth = true;
+  auto Prog = parseProgramOrDie(R"(
+class W {
+  fields dummy;
+  method run(o) {
+    acq(o);
+    o.f = 1;
+    rel(o);
+  }
+}
+class O { fields f; }
+thread {
+  o = new O;
+  w1 = new W;
+  w2 = new W;
+  fork t1 = w1.run(o);
+  fork t2 = w2.run(o);
+  join t1;
+  join t2;
+}
+)");
+  VmResult R = runProgramBase(*Prog, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.GroundTruthRaces.empty());
+}
+
+TEST(Vm, StepBudgetCatchesNonTermination) {
+  auto Prog = parseProgramOrDie(R"(
+thread {
+  i = 1;
+  while (i > 0) {
+    i = i + 1;
+  }
+}
+)");
+  VmOptions Opts;
+  Opts.MaxSteps = 10000;
+  VmResult R = runProgramBase(*Prog, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step budget"), std::string::npos) << R.Error;
+}
+
+TEST(Vm, JoinOnInvalidHandleIsError) {
+  VmResult R = runSource("thread { t = 99; join t; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("invalid thread handle"), std::string::npos);
+}
+
+TEST(Vm, ReleaseWithoutHoldIsError) {
+  VmResult R = runSource(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  rel(o);
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("does not hold"), std::string::npos);
+}
+
+TEST(Vm, ReentrantLockingWorks) {
+  VmResult R = runSource(R"(
+class C { fields f; }
+thread {
+  o = new C;
+  acq(o);
+  acq(o);
+  o.f = 1;
+  rel(o);
+  rel(o);
+  v = o.f;
+  print v;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"1"}));
+}

@@ -1,0 +1,187 @@
+//===- bigfoot.cpp - The bigfoot command-line driver --------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// The StaticBF + DynamicBF pipeline as a command-line tool:
+//
+//   bigfoot program.bfj                      # instrument + run + report
+//   bigfoot --tool=fasttrack program.bfj     # pick a detector
+//   bigfoot --print program.bfj              # show instrumented source
+//   bigfoot --contexts program.bfj           # show analysis contexts
+//   bigfoot --seed=N --quantum=N ...         # schedule control
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CheckPlacement.h"
+#include "bfj/Parser.h"
+#include "bfj/Printer.h"
+#include "instrument/Instrumenters.h"
+#include "vm/Vm.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace bigfoot;
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      R"(usage: bigfoot [options] program.bfj
+
+options:
+  --tool=NAME     detector: bigfoot (default), fasttrack, redcard,
+                  slimstate, slimcard, djit, none (base run)
+  --print         print the instrumented program and exit
+  --contexts      print per-statement analysis contexts (H • A) and exit
+  --seed=N        scheduler seed (default 1)
+  --quantum=N     max statements per scheduling quantum (default 24)
+  --commit-interval=N
+                  commit deferred footprints every N statements (the
+                  Section 3.3 extension; 0 = only at synchronization)
+  --oracle        also run the per-access ground-truth detector
+  --stats         dump all counters after the run
+)";
+}
+
+std::string readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "bigfoot: error: cannot open '" << Path << "'\n";
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ToolName = "bigfoot";
+  bool PrintOnly = false, Contexts = false, Oracle = false, DumpStats = false;
+  const char *File = nullptr;
+  VmOptions VmOpts;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--tool=", 7) == 0)
+      ToolName = Arg + 7;
+    else if (std::strcmp(Arg, "--print") == 0)
+      PrintOnly = true;
+    else if (std::strcmp(Arg, "--contexts") == 0)
+      Contexts = true;
+    else if (std::strcmp(Arg, "--oracle") == 0)
+      Oracle = true;
+    else if (std::strcmp(Arg, "--stats") == 0)
+      DumpStats = true;
+    else if (std::strncmp(Arg, "--seed=", 7) == 0)
+      VmOpts.Seed = static_cast<uint64_t>(std::atoll(Arg + 7));
+    else if (std::strncmp(Arg, "--quantum=", 10) == 0)
+      VmOpts.Quantum = static_cast<unsigned>(std::atoi(Arg + 10));
+    else if (std::strncmp(Arg, "--commit-interval=", 18) == 0)
+      VmOpts.CommitIntervalSteps =
+          static_cast<uint64_t>(std::atoll(Arg + 18));
+    else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
+      usage();
+      return 0;
+    } else if (Arg[0] == '-') {
+      std::cerr << "bigfoot: error: unknown option '" << Arg << "'\n";
+      usage();
+      return 1;
+    } else {
+      File = Arg;
+    }
+  }
+  if (!File) {
+    usage();
+    return 1;
+  }
+
+  ParseResult PR = parseProgram(readFile(File));
+  if (!PR.ok()) {
+    std::cerr << "bigfoot: " << File << ": " << PR.Error << "\n";
+    return 1;
+  }
+
+  if (Contexts) {
+    PlacementOptions Opts;
+    Opts.TraceContexts = true;
+    PlacementStats Stats = placeBigFootChecks(*PR.Prog, Opts);
+    std::cout << printProgram(*PR.Prog);
+    std::cout << "\n--- contexts after each statement ---\n";
+    for (const auto &[Id, Ctx] : Stats.ContextAfter)
+      std::cout << "#" << Id << ": " << Ctx << "\n";
+    return 0;
+  }
+
+  if (ToolName == "none") {
+    VmOpts.EnableGroundTruth = Oracle;
+    VmResult Run = runProgramBase(*PR.Prog, VmOpts);
+    for (const std::string &Line : Run.Output)
+      std::cout << Line << "\n";
+    if (!Run.Ok) {
+      std::cerr << "bigfoot: runtime error: " << Run.Error << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  InstrumentedProgram IP;
+  if (ToolName == "bigfoot")
+    IP = instrumentBigFoot(*PR.Prog);
+  else if (ToolName == "fasttrack")
+    IP = instrumentFastTrack(*PR.Prog);
+  else if (ToolName == "redcard")
+    IP = instrumentRedCard(*PR.Prog);
+  else if (ToolName == "slimstate")
+    IP = instrumentSlimState(*PR.Prog);
+  else if (ToolName == "slimcard")
+    IP = instrumentSlimCard(*PR.Prog);
+  else if (ToolName == "djit") {
+    IP = instrumentFastTrack(*PR.Prog);
+    IP.Tool = djitConfig();
+  } else {
+    std::cerr << "bigfoot: error: unknown tool '" << ToolName << "'\n";
+    return 1;
+  }
+
+  if (PrintOnly) {
+    std::cout << printProgram(*IP.Prog);
+    return 0;
+  }
+
+  VmOpts.EnableGroundTruth = Oracle;
+  VmResult Run = runProgram(*IP.Prog, IP.Tool, VmOpts);
+  for (const std::string &Line : Run.Output)
+    std::cout << Line << "\n";
+  if (!Run.Ok) {
+    std::cerr << "bigfoot: runtime error: " << Run.Error << "\n";
+    return 1;
+  }
+
+  uint64_t Events = Run.Counters.get("tool.checkEvents.field") +
+                    Run.Counters.get("tool.checkEvents.array");
+  uint64_t Accesses = Run.Counters.get("vm.accesses");
+  std::cerr << "[" << ToolName << "] " << Accesses << " accesses, "
+            << Events << " check events ("
+            << (Accesses ? static_cast<double>(Events) / Accesses : 0.0)
+            << " ratio), " << Run.Counters.get("tool.shadowOps")
+            << " shadow ops\n";
+  if (Run.ToolRaces.empty()) {
+    std::cerr << "[" << ToolName << "] no races detected\n";
+  } else {
+    for (const ReportedRace &R : Run.ToolRaces)
+      std::cerr << "[" << ToolName << "] " << R.str() << "\n";
+  }
+  if (Oracle) {
+    std::cerr << "[oracle] " << Run.GroundTruthRaces.size()
+              << " race(s) at per-access granularity\n";
+  }
+  if (DumpStats)
+    for (const auto &[Name, Value] : Run.Counters.all())
+      std::cerr << "  " << Name << " = " << Value << "\n";
+  return Run.ToolRaces.empty() ? 0 : 2;
+}

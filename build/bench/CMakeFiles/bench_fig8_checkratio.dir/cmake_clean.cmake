@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_checkratio.dir/bench_fig8_checkratio.cpp.o"
+  "CMakeFiles/bench_fig8_checkratio.dir/bench_fig8_checkratio.cpp.o.d"
+  "bench_fig8_checkratio"
+  "bench_fig8_checkratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_checkratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staticbf_scaling.dir/bench_staticbf_scaling.cpp.o"
+  "CMakeFiles/bench_staticbf_scaling.dir/bench_staticbf_scaling.cpp.o.d"
+  "bench_staticbf_scaling"
+  "bench_staticbf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staticbf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

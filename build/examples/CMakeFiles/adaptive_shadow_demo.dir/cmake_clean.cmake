@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_shadow_demo.dir/adaptive_shadow_demo.cpp.o"
+  "CMakeFiles/adaptive_shadow_demo.dir/adaptive_shadow_demo.cpp.o.d"
+  "adaptive_shadow_demo"
+  "adaptive_shadow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_shadow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_explorer.dir/analysis_explorer.cpp.o"
+  "CMakeFiles/analysis_explorer.dir/analysis_explorer.cpp.o.d"
+  "analysis_explorer"
+  "analysis_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

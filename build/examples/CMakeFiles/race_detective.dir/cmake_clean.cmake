@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detective.dir/race_detective.cpp.o"
+  "CMakeFiles/race_detective.dir/race_detective.cpp.o.d"
+  "race_detective"
+  "race_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

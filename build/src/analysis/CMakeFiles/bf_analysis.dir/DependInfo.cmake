@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CheckPlacement.cpp" "src/analysis/CMakeFiles/bf_analysis.dir/CheckPlacement.cpp.o" "gcc" "src/analysis/CMakeFiles/bf_analysis.dir/CheckPlacement.cpp.o.d"
+  "/root/repo/src/analysis/Coalesce.cpp" "src/analysis/CMakeFiles/bf_analysis.dir/Coalesce.cpp.o" "gcc" "src/analysis/CMakeFiles/bf_analysis.dir/Coalesce.cpp.o.d"
+  "/root/repo/src/analysis/FieldProxy.cpp" "src/analysis/CMakeFiles/bf_analysis.dir/FieldProxy.cpp.o" "gcc" "src/analysis/CMakeFiles/bf_analysis.dir/FieldProxy.cpp.o.d"
+  "/root/repo/src/analysis/HistoryContext.cpp" "src/analysis/CMakeFiles/bf_analysis.dir/HistoryContext.cpp.o" "gcc" "src/analysis/CMakeFiles/bf_analysis.dir/HistoryContext.cpp.o.d"
+  "/root/repo/src/analysis/KillSets.cpp" "src/analysis/CMakeFiles/bf_analysis.dir/KillSets.cpp.o" "gcc" "src/analysis/CMakeFiles/bf_analysis.dir/KillSets.cpp.o.d"
+  "/root/repo/src/analysis/Rename.cpp" "src/analysis/CMakeFiles/bf_analysis.dir/Rename.cpp.o" "gcc" "src/analysis/CMakeFiles/bf_analysis.dir/Rename.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bfj/CMakeFiles/bf_bfj.dir/DependInfo.cmake"
+  "/root/repo/build/src/entail/CMakeFiles/bf_entail.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_analysis.dir/CheckPlacement.cpp.o"
+  "CMakeFiles/bf_analysis.dir/CheckPlacement.cpp.o.d"
+  "CMakeFiles/bf_analysis.dir/Coalesce.cpp.o"
+  "CMakeFiles/bf_analysis.dir/Coalesce.cpp.o.d"
+  "CMakeFiles/bf_analysis.dir/FieldProxy.cpp.o"
+  "CMakeFiles/bf_analysis.dir/FieldProxy.cpp.o.d"
+  "CMakeFiles/bf_analysis.dir/HistoryContext.cpp.o"
+  "CMakeFiles/bf_analysis.dir/HistoryContext.cpp.o.d"
+  "CMakeFiles/bf_analysis.dir/KillSets.cpp.o"
+  "CMakeFiles/bf_analysis.dir/KillSets.cpp.o.d"
+  "CMakeFiles/bf_analysis.dir/Rename.cpp.o"
+  "CMakeFiles/bf_analysis.dir/Rename.cpp.o.d"
+  "libbf_analysis.a"
+  "libbf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

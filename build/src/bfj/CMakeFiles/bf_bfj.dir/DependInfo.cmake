@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfj/Expr.cpp" "src/bfj/CMakeFiles/bf_bfj.dir/Expr.cpp.o" "gcc" "src/bfj/CMakeFiles/bf_bfj.dir/Expr.cpp.o.d"
+  "/root/repo/src/bfj/Lexer.cpp" "src/bfj/CMakeFiles/bf_bfj.dir/Lexer.cpp.o" "gcc" "src/bfj/CMakeFiles/bf_bfj.dir/Lexer.cpp.o.d"
+  "/root/repo/src/bfj/Parser.cpp" "src/bfj/CMakeFiles/bf_bfj.dir/Parser.cpp.o" "gcc" "src/bfj/CMakeFiles/bf_bfj.dir/Parser.cpp.o.d"
+  "/root/repo/src/bfj/Printer.cpp" "src/bfj/CMakeFiles/bf_bfj.dir/Printer.cpp.o" "gcc" "src/bfj/CMakeFiles/bf_bfj.dir/Printer.cpp.o.d"
+  "/root/repo/src/bfj/Program.cpp" "src/bfj/CMakeFiles/bf_bfj.dir/Program.cpp.o" "gcc" "src/bfj/CMakeFiles/bf_bfj.dir/Program.cpp.o.d"
+  "/root/repo/src/bfj/Stmt.cpp" "src/bfj/CMakeFiles/bf_bfj.dir/Stmt.cpp.o" "gcc" "src/bfj/CMakeFiles/bf_bfj.dir/Stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_bfj.dir/Expr.cpp.o"
+  "CMakeFiles/bf_bfj.dir/Expr.cpp.o.d"
+  "CMakeFiles/bf_bfj.dir/Lexer.cpp.o"
+  "CMakeFiles/bf_bfj.dir/Lexer.cpp.o.d"
+  "CMakeFiles/bf_bfj.dir/Parser.cpp.o"
+  "CMakeFiles/bf_bfj.dir/Parser.cpp.o.d"
+  "CMakeFiles/bf_bfj.dir/Printer.cpp.o"
+  "CMakeFiles/bf_bfj.dir/Printer.cpp.o.d"
+  "CMakeFiles/bf_bfj.dir/Program.cpp.o"
+  "CMakeFiles/bf_bfj.dir/Program.cpp.o.d"
+  "CMakeFiles/bf_bfj.dir/Stmt.cpp.o"
+  "CMakeFiles/bf_bfj.dir/Stmt.cpp.o.d"
+  "libbf_bfj.a"
+  "libbf_bfj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_bfj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

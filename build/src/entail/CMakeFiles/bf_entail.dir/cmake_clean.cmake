@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_entail.dir/ConstraintSystem.cpp.o"
+  "CMakeFiles/bf_entail.dir/ConstraintSystem.cpp.o.d"
+  "libbf_entail.a"
+  "libbf_entail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_entail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/bf_harness.dir/Experiment.cpp.o.d"
+  "libbf_harness.a"
+  "libbf_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_instrument.dir/Instrumenters.cpp.o"
+  "CMakeFiles/bf_instrument.dir/Instrumenters.cpp.o.d"
+  "libbf_instrument.a"
+  "libbf_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

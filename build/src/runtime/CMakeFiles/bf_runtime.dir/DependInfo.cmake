@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/ArrayShadow.cpp" "src/runtime/CMakeFiles/bf_runtime.dir/ArrayShadow.cpp.o" "gcc" "src/runtime/CMakeFiles/bf_runtime.dir/ArrayShadow.cpp.o.d"
+  "/root/repo/src/runtime/Detector.cpp" "src/runtime/CMakeFiles/bf_runtime.dir/Detector.cpp.o" "gcc" "src/runtime/CMakeFiles/bf_runtime.dir/Detector.cpp.o.d"
+  "/root/repo/src/runtime/FastTrackState.cpp" "src/runtime/CMakeFiles/bf_runtime.dir/FastTrackState.cpp.o" "gcc" "src/runtime/CMakeFiles/bf_runtime.dir/FastTrackState.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bfj/CMakeFiles/bf_bfj.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

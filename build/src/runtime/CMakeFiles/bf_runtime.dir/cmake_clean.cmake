@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_runtime.dir/ArrayShadow.cpp.o"
+  "CMakeFiles/bf_runtime.dir/ArrayShadow.cpp.o.d"
+  "CMakeFiles/bf_runtime.dir/Detector.cpp.o"
+  "CMakeFiles/bf_runtime.dir/Detector.cpp.o.d"
+  "CMakeFiles/bf_runtime.dir/FastTrackState.cpp.o"
+  "CMakeFiles/bf_runtime.dir/FastTrackState.cpp.o.d"
+  "libbf_runtime.a"
+  "libbf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

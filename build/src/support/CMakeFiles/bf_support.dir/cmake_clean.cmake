@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_support.dir/AffineExpr.cpp.o"
+  "CMakeFiles/bf_support.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/bf_support.dir/StridedRange.cpp.o"
+  "CMakeFiles/bf_support.dir/StridedRange.cpp.o.d"
+  "CMakeFiles/bf_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/bf_support.dir/TablePrinter.cpp.o.d"
+  "libbf_support.a"
+  "libbf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

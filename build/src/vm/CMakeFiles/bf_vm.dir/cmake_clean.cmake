@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_vm.dir/Vm.cpp.o"
+  "CMakeFiles/bf_vm.dir/Vm.cpp.o.d"
+  "libbf_vm.a"
+  "libbf_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

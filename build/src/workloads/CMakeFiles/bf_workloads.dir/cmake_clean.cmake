@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/bf_workloads.dir/Workloads.cpp.o.d"
+  "libbf_workloads.a"
+  "libbf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

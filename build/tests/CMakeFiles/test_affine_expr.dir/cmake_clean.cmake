@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affine_expr.dir/support/AffineExprTest.cpp.o"
+  "CMakeFiles/test_affine_expr.dir/support/AffineExprTest.cpp.o.d"
+  "test_affine_expr"
+  "test_affine_expr.pdb"
+  "test_affine_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affine_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

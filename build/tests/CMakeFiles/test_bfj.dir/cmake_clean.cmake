@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfj.dir/bfj/BfjTest.cpp.o"
+  "CMakeFiles/test_bfj.dir/bfj/BfjTest.cpp.o.d"
+  "test_bfj"
+  "test_bfj.pdb"
+  "test_bfj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

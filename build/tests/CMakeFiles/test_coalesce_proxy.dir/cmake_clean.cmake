@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalesce_proxy.dir/analysis/CoalesceProxyTest.cpp.o"
+  "CMakeFiles/test_coalesce_proxy.dir/analysis/CoalesceProxyTest.cpp.o.d"
+  "test_coalesce_proxy"
+  "test_coalesce_proxy.pdb"
+  "test_coalesce_proxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalesce_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_oracle.dir/integration/CoverageOracleTest.cpp.o"
+  "CMakeFiles/test_coverage_oracle.dir/integration/CoverageOracleTest.cpp.o.d"
+  "test_coverage_oracle"
+  "test_coverage_oracle.pdb"
+  "test_coverage_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

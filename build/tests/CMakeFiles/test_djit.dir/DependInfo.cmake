@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/DjitTest.cpp" "tests/CMakeFiles/test_djit.dir/runtime/DjitTest.cpp.o" "gcc" "tests/CMakeFiles/test_djit.dir/runtime/DjitTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfj/CMakeFiles/bf_bfj.dir/DependInfo.cmake"
+  "/root/repo/build/src/entail/CMakeFiles/bf_entail.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/bf_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/bf_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

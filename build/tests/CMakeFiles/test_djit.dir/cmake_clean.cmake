@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_djit.dir/runtime/DjitTest.cpp.o"
+  "CMakeFiles/test_djit.dir/runtime/DjitTest.cpp.o.d"
+  "test_djit"
+  "test_djit.pdb"
+  "test_djit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_djit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entail.dir/entail/ConstraintSystemTest.cpp.o"
+  "CMakeFiles/test_entail.dir/entail/ConstraintSystemTest.cpp.o.d"
+  "test_entail"
+  "test_entail.pdb"
+  "test_entail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

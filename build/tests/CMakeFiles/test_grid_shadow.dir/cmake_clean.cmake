@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_shadow.dir/runtime/GridShadowTest.cpp.o"
+  "CMakeFiles/test_grid_shadow.dir/runtime/GridShadowTest.cpp.o.d"
+  "test_grid_shadow"
+  "test_grid_shadow.pdb"
+  "test_grid_shadow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumenters.dir/instrument/InstrumentersTest.cpp.o"
+  "CMakeFiles/test_instrumenters.dir/instrument/InstrumentersTest.cpp.o.d"
+  "test_instrumenters"
+  "test_instrumenters.pdb"
+  "test_instrumenters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumenters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_placement.dir/integration/RandomPlacementTest.cpp.o"
+  "CMakeFiles/test_random_placement.dir/integration/RandomPlacementTest.cpp.o.d"
+  "test_random_placement"
+  "test_random_placement.pdb"
+  "test_random_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strided_range.dir/support/StridedRangeTest.cpp.o"
+  "CMakeFiles/test_strided_range.dir/support/StridedRangeTest.cpp.o.d"
+  "test_strided_range"
+  "test_strided_range.pdb"
+  "test_strided_range[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strided_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

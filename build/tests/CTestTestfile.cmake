@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_strided_range[1]_include.cmake")
+include("/root/repo/build/tests/test_affine_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_bfj[1]_include.cmake")
+include("/root/repo/build/tests/test_entail[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_precision[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_coalesce_proxy[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_djit[1]_include.cmake")
+include("/root/repo/build/tests/test_random_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_grid_shadow[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_instrumenters[1]_include.cmake")

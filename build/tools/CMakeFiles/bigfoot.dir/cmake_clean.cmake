@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigfoot.dir/bigfoot.cpp.o"
+  "CMakeFiles/bigfoot.dir/bigfoot.cpp.o.d"
+  "bigfoot"
+  "bigfoot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigfoot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

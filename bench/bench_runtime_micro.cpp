@@ -13,8 +13,13 @@
 #include "entail/ConstraintSystem.h"
 #include "runtime/ArrayShadow.h"
 #include "runtime/Detector.h"
+#include "support/Timer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
 
 using namespace bigfoot;
 
@@ -146,6 +151,101 @@ thread {
 }
 BENCHMARK(BM_ParseSmallProgram);
 
+//===----------------------------------------------------------------------===
+// Machine-readable shadow-op throughput (BENCH_runtime_micro.json).
+//
+// Drives each detector configuration's field- and array-check hot path
+// directly (no VM, no tracing) and reports ns per shadow operation. Later
+// PRs compare against this JSON line to track the perf trajectory of the
+// detector-metadata layer.
+//===----------------------------------------------------------------------===
+
+/// Field-proxy table matching the workload-typical shape: y and z proxy
+/// through x, so proxy-aware configs fuse the three-field group into one
+/// shadow location.
+std::map<std::string, std::string> benchProxies() {
+  return {{"x", "x"}, {"y", "x"}, {"z", "x"}};
+}
+
+/// One deterministic mixed workload over the detector's check API:
+/// coalesced field-group checks across a working set of objects, single
+/// field checks, strided array checks, and a release every round so
+/// deferred configs exercise their commit path too.
+uint64_t driveDetector(RaceDetector &D, int Rounds) {
+  // Intern once up front; the loop drives the id-based hot path exactly
+  // the way the VM does (no strings per check).
+  const FieldId Group[3] = {D.internField("x"), D.internField("y"),
+                            D.internField("z")};
+  const FieldId One[1] = {Group[0]};
+  constexpr ObjectId NumObjects = 64;
+  constexpr ObjectId ArrayId = 1000;
+  D.onArrayAlloc(ArrayId, 4096);
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (ObjectId Obj = 1; Obj <= NumObjects; ++Obj) {
+      D.checkFields(0, Obj, Group, 3, AccessKind::Write);
+      D.checkFields(0, Obj, One, 1, AccessKind::Read);
+    }
+    for (int64_t I = 0; I < 64; ++I)
+      D.checkArrayRange(0, ArrayId, StridedRange::singleton(I),
+                        AccessKind::Write);
+    D.onRelease(0, 9999);
+  }
+  return 0;
+}
+
+double nsPerShadowOp(const DetectorConfig &Cfg) {
+  Stats Counters;
+  RaceDetector D(Cfg, Counters);
+  driveDetector(D, 50); // Warm up table sizes and epochs.
+  uint64_t OpsBefore = Counters.get("tool.shadowOps") +
+                       Counters.get("tool.footprintAdds");
+  Timer T;
+  constexpr int Rounds = 2000;
+  driveDetector(D, Rounds);
+  double Sec = T.seconds();
+  uint64_t Ops = Counters.get("tool.shadowOps") +
+                 Counters.get("tool.footprintAdds") - OpsBefore;
+  return Ops ? Sec * 1e9 / static_cast<double>(Ops) : 0;
+}
+
+void emitShadowOpJson() {
+  std::vector<std::pair<std::string, DetectorConfig>> Configs;
+  Configs.emplace_back("fasttrack", fastTrackConfig());
+  Configs.emplace_back("djit", djitConfig());
+  Configs.emplace_back("redcard", redCardConfig(benchProxies()));
+  Configs.emplace_back("slimstate", slimStateConfig());
+  Configs.emplace_back("slimcard", slimCardConfig(benchProxies()));
+  Configs.emplace_back("bigfoot", bigFootConfig(benchProxies()));
+
+  std::string Json = "{\"bench\":\"runtime_micro\","
+                     "\"unit\":\"ns_per_shadow_op\",\"configs\":{";
+  bool First = true;
+  for (auto &[Name, Cfg] : Configs) {
+    double Ns = nsPerShadowOp(Cfg);
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%.2f", First ? "" : ",",
+                  Name.c_str(), Ns);
+    Json += Buf;
+    First = false;
+  }
+  Json += "}}";
+
+  std::FILE *Out = std::fopen("BENCH_runtime_micro.json", "w");
+  if (Out) {
+    std::fprintf(Out, "%s\n", Json.c_str());
+    std::fclose(Out);
+  }
+  std::printf("%s\n", Json.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emitShadowOpJson();
+  return 0;
+}

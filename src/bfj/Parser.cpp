@@ -689,6 +689,7 @@ ParseResult bigfoot::parseProgram(const std::string &Source) {
       return Bad;
     }
     R.Prog->numberStatements();
+    R.Prog->internSymbols();
   }
   return R;
 }

@@ -17,9 +17,11 @@
 #define BIGFOOT_BFJ_PATH_H
 
 #include "support/AffineExpr.h"
+#include "support/Symbol.h"
 
 #include <cassert>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bigfoot {
@@ -49,6 +51,20 @@ struct Path {
 
   /// Array path: the checked index range, bounds affine in locals.
   SymbolicRange Range;
+
+  /// An affine bound compiled against the program's symbol table: constant
+  /// plus coefficient-weighted interned locals. The VM evaluates this with
+  /// plain vector indexing instead of string-keyed map lookups.
+  struct CompiledBound {
+    int64_t Constant = 0;
+    std::vector<std::pair<SymId, int64_t>> Terms;
+  };
+
+  /// Interned caches, set by Program::internSymbols. Stale after AST
+  /// rewrites until the program is re-interned; the VM re-interns on entry.
+  SymId DesignatorSym = kNoSym;
+  std::vector<FieldId> FieldSyms;
+  CompiledBound BeginC, EndC;
 
   static Path field(AccessKind Access, std::string Designator,
                     std::string Field) {

@@ -16,6 +16,7 @@
 #define BIGFOOT_BFJ_PROGRAM_H
 
 #include "bfj/Stmt.h"
+#include "support/Symbol.h"
 
 #include <functional>
 #include <map>
@@ -34,6 +35,11 @@ struct MethodDecl {
   /// Name of the returned local; empty for void-like methods (the VM then
   /// returns 0).
   std::string ReturnVar;
+
+  /// Interned caches, set by Program::internSymbols. ReturnSym is kNoSym
+  /// for void-like methods.
+  std::vector<SymId> ParamSyms;
+  SymId ReturnSym = kNoSym;
 
   std::unique_ptr<MethodDecl> clone() const;
 };
@@ -98,7 +104,31 @@ public:
   /// number of statements numbered.
   unsigned numberStatements();
 
-  /// Deep copy of the entire program.
+  //===--- Symbol interning ----------------------------------------------------
+  /// Rebuilds the symbol table and every AST sym cache from scratch:
+  /// interns class fields first (so FieldIds are dense and small), then
+  /// method params/returns, then walks every statement, expression, and
+  /// check path. Deterministic and idempotent; called by the parser, by
+  /// every instrumenter after its rewrites, and lazily by the VM.
+  void internSymbols();
+
+  /// Interns if this program has not been interned since its last clone.
+  /// Const because the VM receives const programs; the sym caches are
+  /// logically derived data.
+  void ensureInterned() const {
+    if (!Interned)
+      const_cast<Program *>(this)->internSymbols();
+  }
+
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// O(1) volatile test by interned field id (valid after interning).
+  bool isFieldVolatileById(SymId Field) const {
+    return Field < VolatileBySym.size() && VolatileBySym[Field] != 0;
+  }
+
+  /// Deep copy of the entire program. The copy is not interned (its sym
+  /// caches are reset); it re-interns on first use.
   std::unique_ptr<Program> clone() const;
 
   /// Calls \p Fn on every statement in the program (pre-order, mutable).
@@ -107,6 +137,12 @@ public:
 
   /// Calls \p Fn on every method body and every thread body.
   void forEachBody(const std::function<void(Stmt *)> &Fn);
+
+private:
+  SymbolTable Symbols;
+  /// Indexed by SymId: nonzero if any class declares that field volatile.
+  std::vector<uint8_t> VolatileBySym;
+  bool Interned = false;
 };
 
 /// Walks a statement tree in pre-order (mutable).

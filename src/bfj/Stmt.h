@@ -31,6 +31,8 @@
 
 namespace bigfoot {
 
+class ClassDecl;
+
 enum class StmtKind {
   Skip,
   Block,
@@ -173,6 +175,9 @@ public:
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
 
+  /// Interned cache, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+
 private:
   std::string Target;
   std::unique_ptr<Expr> Value;
@@ -193,6 +198,10 @@ public:
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Rename; }
 
+  /// Interned caches, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+  SymId SourceSym = kNoSym;
+
 private:
   std::string Target;
   std::string Source;
@@ -209,6 +218,9 @@ public:
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Acquire; }
 
+  /// Interned cache, set by Program::internSymbols.
+  SymId LockSym = kNoSym;
+
 private:
   std::string LockVar;
 };
@@ -223,6 +235,9 @@ public:
 
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Release; }
+
+  /// Interned cache, set by Program::internSymbols.
+  SymId LockSym = kNoSym;
 
 private:
   std::string LockVar;
@@ -240,6 +255,10 @@ public:
 
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::New; }
+
+  /// Interned caches, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+  const ClassDecl *ClassCache = nullptr;
 
 private:
   std::string Target;
@@ -261,6 +280,9 @@ public:
     return S->kind() == StmtKind::NewArray;
   }
 
+  /// Interned cache, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+
 private:
   std::string Target;
   std::unique_ptr<Expr> Size;
@@ -281,6 +303,11 @@ public:
   static bool classof(const Stmt *S) {
     return S->kind() == StmtKind::FieldRead;
   }
+
+  /// Interned caches, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+  SymId ObjectSym = kNoSym;
+  FieldId FieldSym = kNoSym;
 
 private:
   std::string Target;
@@ -304,6 +331,10 @@ public:
   static bool classof(const Stmt *S) {
     return S->kind() == StmtKind::FieldWrite;
   }
+
+  /// Interned caches, set by Program::internSymbols.
+  SymId ObjectSym = kNoSym;
+  FieldId FieldSym = kNoSym;
 
 private:
   std::string Object;
@@ -329,6 +360,10 @@ public:
     return S->kind() == StmtKind::ArrayRead;
   }
 
+  /// Interned caches, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+  SymId ArraySym = kNoSym;
+
 private:
   std::string Target;
   std::string Array;
@@ -352,6 +387,9 @@ public:
     return S->kind() == StmtKind::ArrayWrite;
   }
 
+  /// Interned cache, set by Program::internSymbols.
+  SymId ArraySym = kNoSym;
+
 private:
   std::string Array;
   std::unique_ptr<Expr> Index;
@@ -374,6 +412,10 @@ public:
     return S->kind() == StmtKind::ArrayLen;
   }
 
+  /// Interned caches, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+  SymId ArraySym = kNoSym;
+
 private:
   std::string Target;
   std::string Array;
@@ -395,6 +437,11 @@ public:
 
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+
+  /// Interned caches, set by Program::internSymbols. TargetSym is kNoSym
+  /// for discarded results ("" or "_").
+  SymId TargetSym = kNoSym;
+  SymId ReceiverSym = kNoSym;
 
 private:
   std::string Target;
@@ -440,6 +487,10 @@ public:
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Fork; }
 
+  /// Interned caches, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+  SymId ReceiverSym = kNoSym;
+
 private:
   std::string Target;
   std::string Receiver;
@@ -458,6 +509,9 @@ public:
 
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Join; }
+
+  /// Interned cache, set by Program::internSymbols.
+  SymId HandleSym = kNoSym;
 
 private:
   std::string Handle;
@@ -478,6 +532,9 @@ public:
     return S->kind() == StmtKind::NewBarrier;
   }
 
+  /// Interned cache, set by Program::internSymbols.
+  SymId TargetSym = kNoSym;
+
 private:
   std::string Target;
   std::unique_ptr<Expr> Parties;
@@ -496,6 +553,9 @@ public:
 
   StmtPtr clone() const override;
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Await; }
+
+  /// Interned cache, set by Program::internSymbols.
+  SymId BarrierSym = kNoSym;
 
 private:
   std::string BarrierVar;

@@ -341,6 +341,7 @@ InstrumentedProgram bigfoot::instrumentFastTrack(const Program &P) {
   for (auto &T : Out.Prog->Threads)
     insertPerAccessChecks(*Out.Prog, T.get());
   Out.Prog->numberStatements();
+  Out.Prog->internSymbols();
   Out.Tool = fastTrackConfig();
   return Out;
 }
@@ -362,6 +363,7 @@ InstrumentedProgram bigfoot::instrumentRedCard(const Program &P) {
   for (auto &T : Out.Prog->Threads)
     Pass.runOnBody(T.get());
   Out.Prog->numberStatements();
+  Out.Prog->internSymbols();
   Out.Placement.ChecksInserted = Pass.checksInserted();
   Out.Tool = redCardConfig(computeFieldProxies(*Out.Prog));
   return Out;
@@ -378,6 +380,7 @@ bigfoot::instrumentBigFoot(const Program &P, const PlacementOptions &Opts) {
   InstrumentedProgram Out;
   Out.Prog = P.clone();
   Out.Placement = placeBigFootChecks(*Out.Prog, Opts);
+  Out.Prog->internSymbols();
   Out.Tool = bigFootConfig(computeFieldProxies(*Out.Prog));
   return Out;
 }

@@ -24,6 +24,7 @@ ArrayShadow::ArrayShadow(int64_t Length, bool Adaptive, bool VcOnly)
     for (FastTrackState &S : States)
       S.forceVectorClocks();
   // Refinements copy existing states, so VC-ness propagates on splits.
+  StateBytes = stateSum(States);
 }
 
 ArrayShadow::Mode ArrayShadow::mode() const {
@@ -53,6 +54,7 @@ void ArrayShadow::toFine() {
   StrideK = 1;
   Coarse = false;
   Fine = true;
+  StateBytes = stateSum(States);
 }
 
 void ArrayShadow::toGrid(int64_t K) {
@@ -65,6 +67,7 @@ void ArrayShadow::toGrid(int64_t K) {
   Bounds = {0, Length};
   StrideK = K;
   Coarse = false;
+  StateBytes = stateSum(States);
 }
 
 bool ArrayShadow::splitAt(int64_t At, ShadowOpResult &Result) {
@@ -88,6 +91,7 @@ bool ArrayShadow::splitAt(int64_t At, ShadowOpResult &Result) {
       States.begin() +
           static_cast<ptrdiff_t>(Base + static_cast<size_t>(StrideK)),
       Copy.begin(), Copy.end());
+  StateBytes += stateSum(Copy);
   ++Result.Refinements;
   return true;
 }
@@ -106,8 +110,12 @@ ShadowOpResult ArrayShadow::reapply(const StridedRange &R, AccessKind K,
 void ArrayShadow::opOn(FastTrackState &State, AccessKind K, ThreadId T,
                        const VectorClock &C, ShadowOpResult &Result) {
   ++Result.ShadowOps;
+  size_t Before = State.memoryBytes();
   std::optional<RaceInfo> Race =
       K == AccessKind::Read ? State.onRead(T, C) : State.onWrite(T, C);
+  // Unsigned wrap-around makes the diff correct even when the state
+  // shrinks (a write dropping a shared read set).
+  StateBytes += State.memoryBytes() - Before;
   if (Race)
     Result.Races.push_back(*Race);
 }
@@ -209,9 +217,7 @@ ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
   return reapply(Clipped, K, T, C, std::move(Result));
 }
 
-size_t ArrayShadow::memoryBytes() const {
-  size_t Bytes = sizeof(ArrayShadow) + Bounds.size() * sizeof(int64_t);
-  for (const FastTrackState &S : States)
-    Bytes += S.memoryBytes();
-  return Bytes;
+size_t ArrayShadow::auditMemoryBytes() const {
+  return sizeof(ArrayShadow) + Bounds.size() * sizeof(int64_t) +
+         stateSum(States);
 }

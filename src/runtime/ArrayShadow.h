@@ -61,8 +61,16 @@ public:
   /// Number of live shadow locations.
   size_t locationCount() const { return States.size(); }
 
-  /// Approximate footprint in bytes.
-  size_t memoryBytes() const;
+  /// Approximate footprint in bytes. O(1): the per-state contribution is
+  /// maintained incrementally across ops and refinements.
+  size_t memoryBytes() const {
+    return sizeof(ArrayShadow) + Bounds.size() * sizeof(int64_t) +
+           StateBytes;
+  }
+
+  /// Recomputes the footprint by walking every state; must always equal
+  /// memoryBytes() (asserted by the accounting test).
+  size_t auditMemoryBytes() const;
 
 private:
   int64_t Length;
@@ -75,8 +83,17 @@ private:
   std::vector<int64_t> Bounds;
   int64_t StrideK = 1;
   std::vector<FastTrackState> States;
+  /// Sum of States[i].memoryBytes(), maintained incrementally.
+  size_t StateBytes = 0;
 
   static constexpr size_t MaxGridStates = 256;
+
+  static size_t stateSum(const std::vector<FastTrackState> &V) {
+    size_t Bytes = 0;
+    for (const FastTrackState &S : V)
+      Bytes += S.memoryBytes();
+    return Bytes;
+  }
 
   void toFine();
   /// Converts Coarse into a one-segment grid with stride \p K.

@@ -6,14 +6,16 @@
 
 #include "runtime/Detector.h"
 
+#include "support/LocKey.h"
+
+#include <algorithm>
 #include <cassert>
 
 using namespace bigfoot;
 
 std::string ReportedRace::str() const {
-  std::string Where = OnArray
-                          ? "arr#" + std::to_string(Id) + Range.str()
-                          : "obj#" + std::to_string(Id) + "." + Field;
+  std::string Where = OnArray ? lockey::arrayRange(Id, Range.str())
+                              : lockey::objField(Id, Field);
   const char *KindText = Kind == RaceKind::WriteWrite  ? "write-write"
                          : Kind == RaceKind::WriteRead ? "write-read"
                                                        : "read-write";
@@ -22,22 +24,25 @@ std::string ReportedRace::str() const {
 }
 
 ArrayShadow &RaceDetector::shadowFor(ObjectId Arr) {
-  auto It = Arrays.find(Arr);
-  if (It == Arrays.end()) {
-    // Allocation event missed (e.g. array created before the tool was
-    // attached): fall back to an empty array; onArrayAlloc normally runs
-    // first.
-    It = Arrays
-             .emplace(Arr, ArrayShadow(0, Config.AdaptiveArrayShadow,
-                                       Config.VectorClocksOnly))
-             .first;
-  }
-  return It->second;
+  if (ArrayShadow *S = Arrays.find(Arr))
+    return *S;
+  // Allocation event missed (e.g. array created before the tool was
+  // attached): fall back to an empty array; onArrayAlloc normally runs
+  // first.
+  auto [S, IsNew] = Arrays.emplace(Arr, 0, Config.AdaptiveArrayShadow,
+                                   Config.VectorClocksOnly);
+  ArrayBytes += S.memoryBytes();
+  ArrayLocs += S.locationCount();
+  return S;
 }
 
 void RaceDetector::onArrayAlloc(ObjectId Arr, int64_t Length) {
-  Arrays.emplace(Arr, ArrayShadow(Length, Config.AdaptiveArrayShadow,
-                                  Config.VectorClocksOnly));
+  auto [S, IsNew] = Arrays.emplace(Arr, Length, Config.AdaptiveArrayShadow,
+                                   Config.VectorClocksOnly);
+  if (IsNew) {
+    ArrayBytes += S.memoryBytes();
+    ArrayLocs += S.locationCount();
+  }
 }
 
 void RaceDetector::report(const ReportedRace &Race) {
@@ -50,31 +55,60 @@ void RaceDetector::report(const ReportedRace &Race) {
   Counters.bump("tool.races");
 }
 
+FieldId RaceDetector::proxyOf(FieldId F) {
+  if (Config.FieldProxy.empty())
+    return F;
+  // Resolve ids in first-intern order. Interning a representative may
+  // append new symbols; those resolve themselves when first requested.
+  while (ProxyById.size() <= F) {
+    FieldId I = static_cast<FieldId>(ProxyById.size());
+    auto It = Config.FieldProxy.find(Syms.name(I));
+    ProxyById.push_back(It == Config.FieldProxy.end()
+                            ? I
+                            : Syms.intern(It->second));
+  }
+  return ProxyById[F];
+}
+
 void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
                                const std::vector<std::string> &Fields,
                                AccessKind K) {
-  Counters.bump("tool.checkEvents.field");
+  IdScratch.clear();
+  for (const std::string &F : Fields)
+    IdScratch.push_back(Syms.intern(F));
+  checkFields(T, Obj, IdScratch.data(), IdScratch.size(), K);
+}
+
+void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
+                               const FieldId *Fields, size_t NumFields,
+                               AccessKind K) {
+  CheckEventsFieldC.bump();
   const VectorClock &C = Hb.clockOf(T);
   // Map fields through the proxy table and deduplicate: a coalesced check
   // on a fully compressed group performs a single shadow operation.
-  std::set<std::string> Reps;
-  for (const std::string &F : Fields) {
-    auto It = Config.FieldProxy.find(F);
-    Reps.insert(It == Config.FieldProxy.end() ? F : It->second);
-  }
-  for (const std::string &Rep : Reps) {
-    Counters.bump("tool.shadowOps");
-    FastTrackState &State = FieldShadow[{Obj, Rep}];
+  RepScratch.clear();
+  for (size_t I = 0; I != NumFields; ++I)
+    RepScratch.push_back(proxyOf(Fields[I]));
+  std::sort(RepScratch.begin(), RepScratch.end());
+  RepScratch.erase(std::unique(RepScratch.begin(), RepScratch.end()),
+                   RepScratch.end());
+  for (FieldId Rep : RepScratch) {
+    ShadowOpsC.bump();
+    auto [State, IsNew] = FieldShadow.emplace(packLoc(Obj, Rep));
+    size_t Before = IsNew ? 0 : State.memoryBytes();
+    if (IsNew)
+      FieldBytes += kEntryKeyBytes;
     if (Config.VectorClocksOnly)
       State.forceVectorClocks();
     std::optional<RaceInfo> Race =
         K == AccessKind::Read ? State.onRead(T, C) : State.onWrite(T, C);
+    FieldBytes += State.memoryBytes() - Before;
     if (Race) {
       ReportedRace R;
       R.Kind = Race->Kind;
       R.OnArray = false;
       R.Id = Obj;
-      R.Field = Rep;
+      R.Field = Syms.name(Rep);
       R.Prev = Race->Prev;
       R.Cur = Race->Cur;
       report(R);
@@ -84,9 +118,16 @@ void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
 
 void RaceDetector::applyArray(ThreadId T, ObjectId Arr,
                               const StridedRange &R, AccessKind K) {
-  ShadowOpResult Result = shadowFor(Arr).apply(R, K, T, Hb.clockOf(T));
-  Counters.bump("tool.shadowOps", Result.ShadowOps);
-  Counters.bump("tool.refinements", Result.Refinements);
+  ArrayShadow &Shadow = shadowFor(Arr);
+  size_t BytesBefore = Shadow.memoryBytes();
+  size_t LocsBefore = Shadow.locationCount();
+  ShadowOpResult Result = Shadow.apply(R, K, T, Hb.clockOf(T));
+  // Unsigned wrap-around keeps the diffs correct even when a state
+  // shrinks.
+  ArrayBytes += Shadow.memoryBytes() - BytesBefore;
+  ArrayLocs += Shadow.locationCount() - LocsBefore;
+  ShadowOpsC.bump(Result.ShadowOps);
+  RefinementsC.bump(Result.Refinements);
   for (const RaceInfo &Race : Result.Races) {
     ReportedRace Rep;
     Rep.Kind = Race.Kind;
@@ -101,44 +142,55 @@ void RaceDetector::applyArray(ThreadId T, ObjectId Arr,
 
 void RaceDetector::checkArrayRange(ThreadId T, ObjectId Arr,
                                    const StridedRange &R, AccessKind K) {
-  Counters.bump("tool.checkEvents.array");
+  CheckEventsArrayC.bump();
   if (!Config.DeferArrayChecks) {
     applyArray(T, Arr, R, K);
     return;
   }
   // Footprinting: defer to the next synchronization operation (Section 4).
-  Footprint &FP = Pending[{T, Arr}];
+  if (PendingByThread.size() <= T)
+    PendingByThread.resize(T + 1);
+  auto [FP, IsNew] = PendingByThread[T].emplace(Arr);
+  if (IsNew)
+    PendingBytes += kEntryKeyBytes;
+  size_t FragsBefore = FP.Reads.fragments() + FP.Writes.fragments();
   (K == AccessKind::Read ? FP.Reads : FP.Writes).add(R);
-  Counters.bump("tool.footprintAdds");
+  FootprintAddsC.bump();
+  size_t Frags = FP.Reads.fragments() + FP.Writes.fragments();
+  PendingBytes += (Frags - FragsBefore) * sizeof(StridedRange);
   // Scattered access patterns can fragment a footprint without bound;
   // committing early is always sound (the checks stay inside the same
   // release-free span) and keeps footprint maintenance linear.
-  if (FP.Reads.fragments() + FP.Writes.fragments() > 32) {
+  if (Frags > 32) {
     for (const StridedRange &Range : FP.Writes.ranges())
       applyArray(T, Arr, Range, AccessKind::Write);
     for (const StridedRange &Range : FP.Reads.ranges())
       applyArray(T, Arr, Range, AccessKind::Read);
     FP.Reads.clear();
     FP.Writes.clear();
-    Counters.bump("tool.earlyCommits");
+    PendingBytes -= Frags * sizeof(StridedRange);
+    EarlyCommitsC.bump();
   }
 }
 
 void RaceDetector::commitFootprints(ThreadId T) {
-  if (!Config.DeferArrayChecks)
+  if (!Config.DeferArrayChecks || T >= PendingByThread.size())
     return;
-  // Collect this thread's pending arrays (map is keyed (tid, array)).
-  auto It = Pending.lower_bound({T, 0});
-  while (It != Pending.end() && It->first.first == T) {
-    ObjectId Arr = It->first.second;
+  FlatMap<Footprint> &Map = PendingByThread[T];
+  if (Map.empty())
+    return;
+  for (auto &Entry : Map) {
     // Writes first: a write subsumes a read of the same element.
-    for (const StridedRange &R : It->second.Writes.ranges())
-      applyArray(T, Arr, R, AccessKind::Write);
-    for (const StridedRange &R : It->second.Reads.ranges())
-      applyArray(T, Arr, R, AccessKind::Read);
-    Counters.bump("tool.commits");
-    It = Pending.erase(It);
+    for (const StridedRange &R : Entry.Value.Writes.ranges())
+      applyArray(T, Entry.Key, R, AccessKind::Write);
+    for (const StridedRange &R : Entry.Value.Reads.ranges())
+      applyArray(T, Entry.Key, R, AccessKind::Read);
+    CommitsC.bump();
+    PendingBytes -= kEntryKeyBytes + (Entry.Value.Reads.fragments() +
+                                      Entry.Value.Writes.fragments()) *
+                                         sizeof(StridedRange);
   }
+  Map.clear();
 }
 
 void RaceDetector::onAcquire(ThreadId T, ObjectId Lock) {
@@ -152,14 +204,12 @@ void RaceDetector::onRelease(ThreadId T, ObjectId Lock) {
   Hb.onRelease(T, Lock);
 }
 
-void RaceDetector::onVolatileRead(ThreadId T, ObjectId Obj,
-                                  const std::string &Field) {
+void RaceDetector::onVolatileRead(ThreadId T, ObjectId Obj, FieldId Field) {
   commitFootprints(T);
   Hb.onVolatileRead(T, Obj, Field);
 }
 
-void RaceDetector::onVolatileWrite(ThreadId T, ObjectId Obj,
-                                   const std::string &Field) {
+void RaceDetector::onVolatileWrite(ThreadId T, ObjectId Obj, FieldId Field) {
   commitFootprints(T);
   Hb.onVolatileWrite(T, Obj, Field);
 }
@@ -191,37 +241,37 @@ std::set<std::string> RaceDetector::racyLocationKeys() const {
   std::set<std::string> Keys;
   for (const ReportedRace &R : Races) {
     if (R.OnArray)
-      Keys.insert("arr#" + std::to_string(R.Id));
+      Keys.insert(lockey::array(R.Id));
     else
-      Keys.insert("obj#" + std::to_string(R.Id) + "." + R.Field);
+      Keys.insert(lockey::objField(R.Id, R.Field));
   }
   return Keys;
 }
 
-size_t RaceDetector::shadowBytes() const {
-  size_t Bytes = Hb.memoryBytes();
-  for (const auto &[Key, State] : FieldShadow)
-    Bytes += sizeof(Key) + State.memoryBytes();
-  for (const auto &[Id, Shadow] : Arrays)
-    Bytes += Shadow.memoryBytes();
-  for (const auto &[Key, FP] : Pending)
-    Bytes += sizeof(Key) +
-             (FP.Reads.fragments() + FP.Writes.fragments()) *
-                 sizeof(StridedRange);
+size_t RaceDetector::auditShadowBytes() const {
+  size_t Bytes = Hb.auditMemoryBytes();
+  for (const auto &Entry : FieldShadow)
+    Bytes += kEntryKeyBytes + Entry.Value.memoryBytes();
+  for (const auto &Entry : Arrays)
+    Bytes += Entry.Value.auditMemoryBytes();
+  for (const FlatMap<Footprint> &Map : PendingByThread)
+    for (const auto &Entry : Map)
+      Bytes += kEntryKeyBytes + (Entry.Value.Reads.fragments() +
+                                 Entry.Value.Writes.fragments()) *
+                                    sizeof(StridedRange);
   return Bytes;
 }
 
-size_t RaceDetector::shadowLocationCount() const {
+size_t RaceDetector::auditShadowLocationCount() const {
   size_t N = FieldShadow.size();
-  for (const auto &[Id, Shadow] : Arrays)
-    N += Shadow.locationCount();
+  for (const auto &Entry : Arrays)
+    N += Entry.Value.locationCount();
   return N;
 }
 
 void RaceDetector::sampleMemory() {
-  // The census walks all shadow state; sample sparsely so sync-heavy
-  // programs are not dominated by bookkeeping (RoadRunner samples on a
-  // timer for the same reason).
+  // Sample sparsely so sync-heavy programs are not dominated by gauge
+  // bookkeeping (RoadRunner samples on a timer for the same reason).
   if (++MemorySampleTick % 64 != 1)
     return;
   sampleMemoryNow();

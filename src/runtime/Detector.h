@@ -18,6 +18,13 @@
 /// Check placement (which checks arrive here at all) is the instrumenter's
 /// job; see src/instrument.
 ///
+/// The event interface works on interned ids (support/Symbol.h): field
+/// checks carry FieldIds, shadow locations are packed (object, field) ids
+/// in flat hash tables, and strings appear only in race reports. Shadow
+/// memory and location censuses are maintained incrementally, so
+/// shadowBytes()/shadowLocationCount() are O(1); the audit variants walk
+/// everything and must agree (asserted by the accounting test).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BIGFOOT_RUNTIME_DETECTOR_H
@@ -25,7 +32,9 @@
 
 #include "runtime/ArrayShadow.h"
 #include "runtime/HbState.h"
+#include "support/FlatMap.h"
 #include "support/Stats.h"
+#include "support/Symbol.h"
 
 #include <map>
 #include <memory>
@@ -67,13 +76,30 @@ struct ReportedRace {
 /// counters.
 class RaceDetector {
 public:
-  RaceDetector(DetectorConfig Config, Stats &Counters)
-      : Config(std::move(Config)), Counters(Counters) {}
+  /// \p Symbols seeds the detector's field-id namespace (normally the host
+  /// program's table, so the ids on incoming checks resolve without any
+  /// translation); null starts empty, and the string entry points intern
+  /// on demand.
+  RaceDetector(DetectorConfig Config, Stats &Counters,
+               const SymbolTable *Symbols = nullptr)
+      : Config(std::move(Config)), Counters(Counters) {
+    if (Symbols)
+      Syms = *Symbols;
+  }
 
   const DetectorConfig &config() const { return Config; }
 
+  /// The id of \p Name in this detector's symbol namespace (interning it
+  /// if new) — for callers that build check field lists by hand.
+  FieldId internField(std::string_view Name) { return Syms.intern(Name); }
+
   //===--- Check events ------------------------------------------------------
-  /// A (possibly coalesced) field check on fields \p Fields of \p Obj.
+  /// A (possibly coalesced) field check on \p NumFields interned fields of
+  /// \p Obj. The hot entry point: no strings touched.
+  void checkFields(ThreadId T, ObjectId Obj, const FieldId *Fields,
+                   size_t NumFields, AccessKind K);
+
+  /// String convenience (tests, ad-hoc drivers): interns and forwards.
   void checkFields(ThreadId T, ObjectId Obj,
                    const std::vector<std::string> &Fields, AccessKind K);
 
@@ -87,8 +113,8 @@ public:
   //===--- Synchronization events --------------------------------------------
   void onAcquire(ThreadId T, ObjectId Lock);
   void onRelease(ThreadId T, ObjectId Lock);
-  void onVolatileRead(ThreadId T, ObjectId Obj, const std::string &Field);
-  void onVolatileWrite(ThreadId T, ObjectId Obj, const std::string &Field);
+  void onVolatileRead(ThreadId T, ObjectId Obj, FieldId Field);
+  void onVolatileWrite(ThreadId T, ObjectId Obj, FieldId Field);
   void onFork(ThreadId Parent, ThreadId Child);
   void onJoin(ThreadId Joiner, ThreadId Joined);
   void onBarrier(const std::vector<ThreadId> &Parties);
@@ -104,38 +130,84 @@ public:
   const std::vector<ReportedRace> &races() const { return Races; }
 
   /// Racy locations as strings (for differential tests): "obj#N.f" or
-  /// "arr#N[range]".
+  /// "arr#N".
   std::set<std::string> racyLocationKeys() const;
 
-  /// Current shadow memory (bytes) and live shadow location count.
-  size_t shadowBytes() const;
-  size_t shadowLocationCount() const;
+  /// Current shadow memory (bytes) and live shadow location count. Both
+  /// O(1): maintained incrementally across every shadow mutation.
+  size_t shadowBytes() const {
+    return Hb.memoryBytes() + FieldBytes + ArrayBytes + PendingBytes;
+  }
+  size_t shadowLocationCount() const {
+    return FieldShadow.size() + ArrayLocs;
+  }
 
-  /// Records peak memory gauges into the stats (throttled; the census
-  /// walks all shadow state).
+  /// Full-walk recomputations of the two censuses; must always equal the
+  /// O(1) accessors (asserted by the accounting test).
+  size_t auditShadowBytes() const;
+  size_t auditShadowLocationCount() const;
+
+  /// Records peak memory gauges into the stats (throttled).
   void sampleMemory();
 
   /// Unthrottled sample, for run end / thread exit.
   void sampleMemoryNow();
 
 private:
+  /// Accounted per-entry key overhead in the flat shadow tables.
+  static constexpr size_t kEntryKeyBytes = sizeof(uint64_t);
+
   DetectorConfig Config;
   Stats &Counters;
+  /// This detector's field-id namespace (a copy of the host program's
+  /// table when seeded; detectors outlive no program but tests drive them
+  /// bare).
+  SymbolTable Syms;
   HbState Hb;
 
-  std::map<std::pair<ObjectId, std::string>, FastTrackState> FieldShadow;
-  std::map<ObjectId, ArrayShadow> Arrays;
+  /// Keyed by packLoc(Obj, proxy representative id).
+  FlatMap<FastTrackState> FieldShadow;
+  FlatMap<ArrayShadow> Arrays;
 
   /// Per-thread pending array footprints (read and write separately).
   struct Footprint {
     RangeSet Reads;
     RangeSet Writes;
   };
-  std::map<std::pair<ThreadId, ObjectId>, Footprint> Pending;
+  /// Indexed by thread; each map is keyed by array id. Commit iterates in
+  /// insertion order and clears the map wholesale.
+  std::vector<FlatMap<Footprint>> PendingByThread;
+
+  /// FieldId -> proxy representative id (identity where no proxy
+  /// applies), extended lazily as ids appear.
+  std::vector<FieldId> ProxyById;
 
   std::vector<ReportedRace> Races;
   std::set<std::string> RaceKeys;
   uint64_t MemorySampleTick = 0;
+
+  // Incremental censuses behind shadowBytes()/shadowLocationCount().
+  size_t FieldBytes = 0;
+  size_t ArrayBytes = 0;
+  size_t ArrayLocs = 0;
+  size_t PendingBytes = 0;
+
+  /// Reused proxy-dedupe buffer (checks carry at most a handful of
+  /// fields; reuse keeps the hot path allocation-free).
+  std::vector<FieldId> RepScratch;
+  /// Reused intern buffer for the string checkFields entry point.
+  std::vector<FieldId> IdScratch;
+
+  HotCounter CheckEventsFieldC{Counters, "tool.checkEvents.field"};
+  HotCounter CheckEventsArrayC{Counters, "tool.checkEvents.array"};
+  HotCounter ShadowOpsC{Counters, "tool.shadowOps"};
+  HotCounter RefinementsC{Counters, "tool.refinements"};
+  HotCounter FootprintAddsC{Counters, "tool.footprintAdds"};
+  HotCounter EarlyCommitsC{Counters, "tool.earlyCommits"};
+  HotCounter CommitsC{Counters, "tool.commits"};
+
+  /// The proxy representative for \p F, resolving (and caching) lazily.
+  FieldId proxyOf(FieldId F);
 
   /// Applies a range directly to the array shadow.
   void applyArray(ThreadId T, ObjectId Arr, const StridedRange &R,

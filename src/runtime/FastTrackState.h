@@ -61,6 +61,10 @@ public:
   FastTrackState() = default;
   FastTrackState(const FastTrackState &Other);
   FastTrackState &operator=(const FastTrackState &Other);
+  // The user-declared copy operations suppress the implicit moves; restore
+  // them so the flat shadow tables can relocate states without deep copies.
+  FastTrackState(FastTrackState &&) = default;
+  FastTrackState &operator=(FastTrackState &&) = default;
 
 private:
   Epoch W;

@@ -10,14 +10,20 @@
 /// DJIT+/FastTrack synchronization treatment (Section 5 handles the same
 /// operations for Java).
 ///
+/// Release clocks live in flat hash tables keyed by 64-bit ids (volatiles
+/// use the packed (object, field-id) LocId), and every mutation keeps an
+/// incremental byte census so memoryBytes() is O(1); auditMemoryBytes()
+/// recomputes it by a full walk for the accounting test.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BIGFOOT_RUNTIME_HBSTATE_H
 #define BIGFOOT_RUNTIME_HBSTATE_H
 
 #include "runtime/VectorClock.h"
+#include "support/FlatMap.h"
+#include "support/Symbol.h"
 
-#include <map>
 #include <vector>
 
 namespace bigfoot {
@@ -30,52 +36,59 @@ class HbState {
 public:
   /// The current clock of thread \p T.
   VectorClock &clockOf(ThreadId T) {
-    if (T >= Threads.size())
+    if (T >= Threads.size()) {
+      TrackedBytes += (T + 1 - Threads.size()) * sizeof(VectorClock);
       Threads.resize(T + 1);
+    }
     VectorClock &C = Threads[T];
-    if (C.get(T) == 0)
+    if (C.get(T) == 0) {
+      size_t Before = clockBytes(C);
       C.set(T, 1); // Clocks start at 1; 0 is the bottom epoch.
+      TrackedBytes += clockBytes(C) - Before;
+    }
     return C;
   }
 
   void onAcquire(ThreadId T, ObjectId Lock) {
-    clockOf(T).joinWith(LockClocks[Lock]);
+    VectorClock &C = clockOf(T);
+    joinInto(C, entry(LockClocks, Lock));
   }
 
   void onRelease(ThreadId T, ObjectId Lock) {
     VectorClock &C = clockOf(T);
-    LockClocks[Lock] = C;
+    assignEntry(entry(LockClocks, Lock), C);
     C.increment(T);
   }
 
   /// Volatile write = release to the volatile's clock; volatile read =
   /// acquire from it.
-  void onVolatileWrite(ThreadId T, ObjectId Obj, const std::string &Field) {
+  void onVolatileWrite(ThreadId T, ObjectId Obj, FieldId Field) {
     VectorClock &C = clockOf(T);
-    VolatileClocks[{Obj, Field}] = C;
+    assignEntry(entry(VolatileClocks, packLoc(Obj, Field)), C);
     C.increment(T);
   }
 
-  void onVolatileRead(ThreadId T, ObjectId Obj, const std::string &Field) {
-    auto It = VolatileClocks.find({Obj, Field});
-    if (It != VolatileClocks.end())
-      clockOf(T).joinWith(It->second);
+  void onVolatileRead(ThreadId T, ObjectId Obj, FieldId Field) {
+    if (const VectorClock *VC = VolatileClocks.find(packLoc(Obj, Field)))
+      joinInto(clockOf(T), *VC);
   }
 
   void onFork(ThreadId Parent, ThreadId Child) {
     // Copy before touching the child: clockOf may grow the vector and
     // invalidate references.
     VectorClock P = clockOf(Parent);
-    clockOf(Child).joinWith(P);
+    joinInto(clockOf(Child), P);
     clockOf(Parent).increment(Parent);
   }
 
-  void onThreadExit(ThreadId T) { FinalClocks[T] = clockOf(T); }
+  void onThreadExit(ThreadId T) {
+    VectorClock &C = clockOf(T);
+    assignEntry(entry(FinalClocks, T), C);
+  }
 
   void onJoin(ThreadId Joiner, ThreadId Joined) {
-    auto It = FinalClocks.find(Joined);
-    if (It != FinalClocks.end())
-      clockOf(Joiner).joinWith(It->second);
+    if (const VectorClock *FC = FinalClocks.find(Joined))
+      joinInto(clockOf(Joiner), *FC);
   }
 
   /// All parties release into the barrier, then all acquire the join.
@@ -85,20 +98,24 @@ public:
       Joined.joinWith(clockOf(T));
     for (ThreadId T : Parties) {
       VectorClock &C = clockOf(T);
-      C.joinWith(Joined);
+      joinInto(C, Joined);
       C.increment(T);
     }
   }
 
-  /// Approximate footprint in bytes.
-  size_t memoryBytes() const {
+  /// Approximate footprint in bytes, maintained incrementally — O(1).
+  size_t memoryBytes() const { return TrackedBytes; }
+
+  /// Recomputes the footprint by walking every clock; must always equal
+  /// memoryBytes() (asserted by the accounting test).
+  size_t auditMemoryBytes() const {
     size_t Bytes = 0;
     for (const VectorClock &C : Threads)
-      Bytes += sizeof(VectorClock) + C.size() * sizeof(uint64_t);
-    auto MapBytes = [](const auto &Map) {
+      Bytes += clockBytes(C);
+    auto MapBytes = [](const FlatMap<VectorClock> &Map) {
       size_t B = 0;
-      for (const auto &[Key, C] : Map)
-        B += sizeof(Key) + sizeof(VectorClock) + C.size() * sizeof(uint64_t);
+      for (const auto &Item : Map)
+        B += kEntryKeyBytes + clockBytes(Item.Value);
       return B;
     };
     return Bytes + MapBytes(LockClocks) + MapBytes(VolatileClocks) +
@@ -106,10 +123,43 @@ public:
   }
 
 private:
+  static constexpr size_t kEntryKeyBytes = sizeof(uint64_t);
+
   std::vector<VectorClock> Threads;
-  std::map<ObjectId, VectorClock> LockClocks;
-  std::map<std::pair<ObjectId, std::string>, VectorClock> VolatileClocks;
-  std::map<ThreadId, VectorClock> FinalClocks;
+  FlatMap<VectorClock> LockClocks;
+  /// Keyed by packLoc(Obj, FieldId).
+  FlatMap<VectorClock> VolatileClocks;
+  /// Keyed by the exited thread id.
+  FlatMap<VectorClock> FinalClocks;
+  size_t TrackedBytes = 0;
+
+  static size_t clockBytes(const VectorClock &C) {
+    return sizeof(VectorClock) + C.size() * sizeof(uint64_t);
+  }
+
+  /// The release clock stored under \p Key, inserting (and accounting for)
+  /// an empty one if absent. The reference is valid until the map's next
+  /// insertion.
+  VectorClock &entry(FlatMap<VectorClock> &Map, uint64_t Key) {
+    auto [C, IsNew] = Map.emplace(Key);
+    if (IsNew)
+      TrackedBytes += kEntryKeyBytes + clockBytes(C);
+    return C;
+  }
+
+  /// C.joinWith(Other) with byte accounting (the join may grow C).
+  void joinInto(VectorClock &C, const VectorClock &Other) {
+    size_t Before = clockBytes(C);
+    C.joinWith(Other);
+    TrackedBytes += clockBytes(C) - Before;
+  }
+
+  /// Dest = Src with byte accounting.
+  void assignEntry(VectorClock &Dest, const VectorClock &Src) {
+    size_t Before = clockBytes(Dest);
+    Dest = Src;
+    TrackedBytes += clockBytes(Dest) - Before;
+  }
 };
 
 } // namespace bigfoot

@@ -1,0 +1,154 @@
+//===- FlatMap.h - Open-addressed flat hash map -----------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal open-addressed hash map from 64-bit keys to values, built for
+/// the detector's shadow tables: dense storage, no per-node allocation, and
+/// deterministic insertion-order iteration. Replaces the string-keyed
+/// std::map shadow tables (see DESIGN.md, "Shadow representation & symbol
+/// interning").
+///
+/// Layout: values live contiguously in insertion order in `Items`; a sparse
+/// bucket array maps hashed keys to item indices (stored as index + 1, with
+/// 0 meaning empty). There is no erase — the detector clears whole tables
+/// (`clear()` keeps capacity) rather than removing individual entries, so
+/// probes never need tombstones.
+///
+/// References returned by find()/operator[]/emplace() are invalidated by
+/// the next insertion (the dense vector may reallocate); use them
+/// immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_SUPPORT_FLATMAP_H
+#define BIGFOOT_SUPPORT_FLATMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bigfoot {
+
+template <typename V> class FlatMap {
+public:
+  struct Item {
+    uint64_t Key;
+    V Value;
+  };
+
+  FlatMap() = default;
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+
+  /// Pointer to the value for \p Key, or nullptr. Never inserts.
+  V *find(uint64_t Key) {
+    size_t Slot = probe(Key);
+    return Slot == kNotFound ? nullptr : &Items[Slot].Value;
+  }
+  const V *find(uint64_t Key) const {
+    size_t Slot = probe(Key);
+    return Slot == kNotFound ? nullptr : &Items[Slot].Value;
+  }
+
+  /// Value for \p Key, default-constructing it if absent.
+  V &operator[](uint64_t Key) { return emplace(Key).first; }
+
+  /// Value for \p Key, constructing it from \p Args if absent. Returns the
+  /// value and whether it was newly inserted (args are ignored on a hit,
+  /// matching std::map::try_emplace).
+  template <typename... ArgTys>
+  std::pair<V &, bool> emplace(uint64_t Key, ArgTys &&...Args) {
+    if ((Items.size() + 1) * 4 > Buckets.size() * 3)
+      grow();
+    size_t Mask = Buckets.size() - 1;
+    for (size_t I = mix(Key) & Mask;; I = (I + 1) & Mask) {
+      uint32_t Slot = Buckets[I];
+      if (Slot == 0) {
+        Buckets[I] = static_cast<uint32_t>(Items.size()) + 1;
+        Items.push_back(Item{Key, V(std::forward<ArgTys>(Args)...)});
+        return {Items.back().Value, true};
+      }
+      if (Items[Slot - 1].Key == Key)
+        return {Items[Slot - 1].Value, false};
+    }
+  }
+
+  /// Drops all entries but keeps both allocations for reuse.
+  void clear() {
+    Items.clear();
+    Buckets.assign(Buckets.size(), 0);
+  }
+
+  void reserve(size_t N) {
+    Items.reserve(N);
+    size_t Want = 16;
+    while (N * 4 > Want * 3)
+      Want *= 2;
+    if (Want > Buckets.size())
+      rehash(Want);
+  }
+
+  /// Iteration is over the dense item vector: insertion order, every run.
+  typename std::vector<Item>::iterator begin() { return Items.begin(); }
+  typename std::vector<Item>::iterator end() { return Items.end(); }
+  typename std::vector<Item>::const_iterator begin() const {
+    return Items.begin();
+  }
+  typename std::vector<Item>::const_iterator end() const {
+    return Items.end();
+  }
+
+private:
+  static constexpr size_t kNotFound = ~size_t(0);
+
+  std::vector<Item> Items;
+  /// Sparse index: value is item index + 1, 0 means empty.
+  std::vector<uint32_t> Buckets;
+
+  /// splitmix64 finalizer: shadow keys are packed ids whose low bits carry
+  /// the field, so identity hashing would cluster per-object runs.
+  static uint64_t mix(uint64_t K) {
+    K ^= K >> 30;
+    K *= 0xbf58476d1ce4e5b9ull;
+    K ^= K >> 27;
+    K *= 0x94d049bb133111ebull;
+    K ^= K >> 31;
+    return K;
+  }
+
+  size_t probe(uint64_t Key) const {
+    if (Buckets.empty())
+      return kNotFound;
+    size_t Mask = Buckets.size() - 1;
+    for (size_t I = mix(Key) & Mask;; I = (I + 1) & Mask) {
+      uint32_t Slot = Buckets[I];
+      if (Slot == 0)
+        return kNotFound;
+      if (Items[Slot - 1].Key == Key)
+        return Slot - 1;
+    }
+  }
+
+  void grow() { rehash(Buckets.empty() ? 16 : Buckets.size() * 2); }
+
+  void rehash(size_t NewSize) {
+    assert((NewSize & (NewSize - 1)) == 0 && "bucket count must be pow2");
+    Buckets.assign(NewSize, 0);
+    size_t Mask = NewSize - 1;
+    for (size_t Idx = 0; Idx < Items.size(); ++Idx) {
+      size_t I = mix(Items[Idx].Key) & Mask;
+      while (Buckets[I] != 0)
+        I = (I + 1) & Mask;
+      Buckets[I] = static_cast<uint32_t>(Idx) + 1;
+    }
+  }
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_SUPPORT_FLATMAP_H

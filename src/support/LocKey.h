@@ -1,0 +1,49 @@
+//===- LocKey.h - Human-readable shadow-location keys -----------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place that renders shadow locations as strings: "obj#N.f",
+/// "arr#N", "arr#N[i]", "arr#N[range]". The VM's event trace, the
+/// detector's race reports, and the differential tests all agree on these
+/// spellings because they all call these helpers. Rendering happens only at
+/// report/trace time — never on the per-access hot path, which works on
+/// packed ids (support/Symbol.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_SUPPORT_LOCKEY_H
+#define BIGFOOT_SUPPORT_LOCKEY_H
+
+#include <cstdint>
+#include <string>
+
+namespace bigfoot::lockey {
+
+/// "obj#N" — an object without a field (lock identity, allocation trace).
+inline std::string obj(uint64_t Id) { return "obj#" + std::to_string(Id); }
+
+/// "obj#N.f" — a field shadow location.
+inline std::string objField(uint64_t Id, const std::string &Field) {
+  return "obj#" + std::to_string(Id) + "." + Field;
+}
+
+/// "arr#N" — a whole array (racy-location keys collapse ranges).
+inline std::string array(uint64_t Id) { return "arr#" + std::to_string(Id); }
+
+/// "arr#N[I]" — a single element (VM trace events).
+inline std::string arrayElem(uint64_t Id, int64_t Index) {
+  return "arr#" + std::to_string(Id) + "[" + std::to_string(Index) + "]";
+}
+
+/// "arr#N<range>" — an element range, using the range's own rendering
+/// (e.g. "[0..8)"); \p RangeStr comes from StridedRange::str().
+inline std::string arrayRange(uint64_t Id, const std::string &RangeStr) {
+  return "arr#" + std::to_string(Id) + RangeStr;
+}
+
+} // namespace bigfoot::lockey
+
+#endif // BIGFOOT_SUPPORT_LOCKEY_H

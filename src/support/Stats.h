@@ -28,6 +28,11 @@ public:
     Counters[Name] += Delta;
   }
 
+  /// A stable reference to the counter named \p Name, for hot paths that
+  /// would otherwise pay a string-keyed map lookup per bump. std::map nodes
+  /// never move, so the reference stays valid for the Stats' lifetime.
+  uint64_t &slot(const std::string &Name) { return Counters[Name]; }
+
   /// Records a maximum-style gauge (e.g. peak live shadow locations).
   void gaugeMax(const std::string &Name, uint64_t Value) {
     uint64_t &Slot = Counters[Name];
@@ -46,6 +51,28 @@ public:
 
 private:
   std::map<std::string, uint64_t> Counters;
+};
+
+/// A hot-path counter that resolves its name to a slot on the first bump
+/// rather than at construction. Lazy binding matters twice: hot loops skip
+/// the per-bump string lookup, and counters that never fire stay out of
+/// the stats entirely — exactly the set of names a string-keyed bump at
+/// the same call sites would have produced.
+class HotCounter {
+public:
+  HotCounter(Stats &Counters, const char *Name)
+      : Counters(Counters), Name(Name) {}
+
+  void bump(uint64_t Delta = 1) {
+    if (!Slot)
+      Slot = &Counters.slot(Name);
+    *Slot += Delta;
+  }
+
+private:
+  Stats &Counters;
+  const char *Name;
+  uint64_t *Slot = nullptr;
 };
 
 } // namespace bigfoot

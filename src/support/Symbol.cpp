@@ -1,0 +1,24 @@
+//===- Symbol.cpp - Program-wide symbol interning ----------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+using namespace bigfoot;
+
+void SymbolTable::insertIndex(SymId Id) {
+  size_t Mask = Buckets.size() - 1;
+  size_t I = hashOf(Names[Id]) & Mask;
+  while (Buckets[I] != 0)
+    I = (I + 1) & Mask;
+  Buckets[I] = Id + 1;
+}
+
+void SymbolTable::grow() {
+  size_t NewSize = Buckets.empty() ? 16 : Buckets.size() * 2;
+  Buckets.assign(NewSize, 0);
+  for (SymId Id = 0; Id < Names.size(); ++Id)
+    insertIndex(Id);
+}

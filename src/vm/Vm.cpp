@@ -3,11 +3,21 @@
 // Part of the BigFoot reproduction. See README.md for details.
 //
 //===----------------------------------------------------------------------===//
+//
+// The interpreter works on interned symbol ids throughout: frame locals
+// are a flat vector indexed by SymId, object fields a flat vector indexed
+// by FieldId, and every statement reads its pre-resolved sym caches
+// (Program::internSymbols). Strings are touched only off the hot path —
+// error messages, print output, and the event trace (which is gated on
+// VmOptions::RecordEventTrace before any rendering happens).
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/Vm.h"
 
+#include "support/LocKey.h"
+
 #include <cassert>
-#include <map>
 #include <unordered_map>
 
 using namespace bigfoot;
@@ -44,7 +54,7 @@ struct Value {
     case Kind::Int:
       return std::to_string(I);
     case Kind::Ref:
-      return "obj#" + std::to_string(I);
+      return lockey::obj(static_cast<uint64_t>(I));
     case Kind::Null:
       return "null";
     }
@@ -54,7 +64,9 @@ struct Value {
 
 struct HeapObject {
   const ClassDecl *Cls = nullptr;
-  std::map<std::string, Value> Fields;
+  /// Indexed by FieldId, grown on first write; unset fields read as 0.
+  /// Field ids are interned first, so this stays as small as the class.
+  std::vector<Value> Fields;
   int32_t LockOwner = -1;
   unsigned LockDepth = 0;
 };
@@ -83,9 +95,12 @@ struct Task {
 };
 
 struct Frame {
-  std::unordered_map<std::string, Value> Locals;
+  /// Indexed by SymId over the program's whole symbol table; every local
+  /// starts as integer 0 (BFJ has no declarations, uninitialized locals
+  /// read as 0).
+  std::vector<Value> Locals;
   const MethodDecl *Method = nullptr;
-  std::string ReturnTarget;
+  SymId ReturnTargetSym = kNoSym;
   std::vector<Task> Tasks;
 };
 
@@ -109,10 +124,18 @@ public:
   Interpreter(const Program &Prog, const DetectorConfig *ToolCfg,
               const VmOptions &Opts)
       : Prog(Prog), Opts(Opts), R(Opts.Seed) {
+    // Always (re-)intern: idempotent, one AST walk, and it guarantees the
+    // sym caches are fresh even when a test rewrote the AST by hand after
+    // parsing. Detector field ids come from the same table.
+    const_cast<Program &>(Prog).internSymbols();
+    Syms = &Prog.symbols();
+    NumSyms = Syms->size();
+    GSym = *Syms->lookup("$g");
+    ThisSym = *Syms->lookup("this");
     if (ToolCfg)
-      Tool = std::make_unique<RaceDetector>(*ToolCfg, Result.Counters);
+      Tool = std::make_unique<RaceDetector>(*ToolCfg, Result.Counters, Syms);
     if (Opts.EnableGroundTruth)
-      Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters);
+      Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters, Syms);
   }
 
   VmResult run() {
@@ -141,6 +164,11 @@ private:
   std::unique_ptr<RaceDetector> Tool;
   std::unique_ptr<RaceDetector> Gt;
 
+  const SymbolTable *Syms = nullptr;
+  size_t NumSyms = 0;
+  SymId GSym = kNoSym;
+  SymId ThisSym = kNoSym;
+
   std::unordered_map<ObjectId, HeapObject> Objects;
   std::unordered_map<ObjectId, HeapArray> Arrays;
   std::unordered_map<ObjectId, BarrierRec> Barriers;
@@ -151,7 +179,11 @@ private:
   std::string Error;
   uint64_t Steps = 0;
 
-  Stats &counters() { return Result.Counters; }
+  HotCounter VmAccessesC{Result.Counters, "vm.accesses"};
+  HotCounter VmAccessesFieldC{Result.Counters, "vm.accesses.field"};
+  HotCounter VmAccessesArrayC{Result.Counters, "vm.accesses.array"};
+  HotCounter VmSyncOpsC{Result.Counters, "vm.syncOps"};
+  HotCounter VmHeapBytesC{Result.Counters, "vm.heapBytes"};
 
   //===--- Event trace (tests only) --------------------------------------------
 
@@ -164,24 +196,16 @@ private:
     Result.Trace.push_back(std::move(E));
   }
 
+  /// Callers gate on Opts.RecordEventTrace BEFORE rendering Loc, so the
+  /// hot path never builds location strings.
   void traceLoc(ThreadId Tid, TraceEvent::Kind K, std::string Loc,
                 AccessKind Access) {
-    if (!Opts.RecordEventTrace)
-      return;
     TraceEvent E;
     E.K = K;
     E.Tid = Tid;
     E.Access = Access;
     E.Loc = std::move(Loc);
     Result.Trace.push_back(std::move(E));
-  }
-
-  static std::string fieldLoc(ObjectId Id, const std::string &Field) {
-    return "obj#" + std::to_string(Id) + "." + Field;
-  }
-
-  static std::string elemLoc(ObjectId Id, int64_t Index) {
-    return "arr#" + std::to_string(Id) + "[" + std::to_string(Index) + "]";
   }
 
   void setError(const std::string &Message) {
@@ -191,14 +215,20 @@ private:
 
   //===--- Setup --------------------------------------------------------------
 
+  Frame makeFrame() {
+    Frame F;
+    F.Locals.resize(NumSyms);
+    return F;
+  }
+
   void setup() {
     GlobalObj = NextId++;
     Objects.emplace(GlobalObj, HeapObject());
     for (const StmtPtr &Body : Prog.Threads) {
       auto T = std::make_unique<ThreadCtx>();
       T->Tid = static_cast<ThreadId>(Threads.size());
-      Frame F;
-      F.Locals["$g"] = Value::refV(GlobalObj);
+      Frame F = makeFrame();
+      F.Locals[GSym] = Value::refV(GlobalObj);
       F.Tasks.push_back(Task{Body.get(), 0, 0});
       T->Frames.push_back(std::move(F));
       Threads.push_back(std::move(T));
@@ -340,24 +370,23 @@ private:
   void returnFromFrame(ThreadCtx &T) {
     Frame &F = T.Frames.back();
     Value Ret = Value::intV(0);
-    if (F.Method && !F.Method->ReturnVar.empty())
-      Ret = local(F, F.Method->ReturnVar);
-    std::string Target = F.ReturnTarget;
+    if (F.Method && F.Method->ReturnSym != kNoSym)
+      Ret = F.Locals[F.Method->ReturnSym];
+    SymId Target = F.ReturnTargetSym;
     T.Frames.pop_back();
     if (T.Frames.empty()) {
       finishThread(T);
       return;
     }
-    if (!Target.empty() && Target != "_")
+    if (Target != kNoSym)
       T.Frames.back().Locals[Target] = Ret;
   }
 
   //===--- Expression evaluation -------------------------------------------------
 
-  Value local(Frame &F, const std::string &Name) {
-    auto It = F.Locals.find(Name);
-    // Uninitialized locals read as 0 (BFJ has no declarations).
-    return It == F.Locals.end() ? Value::intV(0) : It->second;
+  Value &local(Frame &F, SymId Sym) {
+    assert(Sym != kNoSym && Sym < F.Locals.size() && "unresolved symbol");
+    return F.Locals[Sym];
   }
 
   Value eval(Frame &F, const Expr *E) {
@@ -369,7 +398,7 @@ private:
     case ExprKind::NullLit:
       return Value::nullV();
     case ExprKind::VarRef:
-      return local(F, cast<VarRef>(E)->name());
+      return local(F, cast<VarRef>(E)->Sym);
     case ExprKind::Unary: {
       const auto *U = cast<UnaryExpr>(E);
       Value V = eval(F, U->operand());
@@ -445,29 +474,15 @@ private:
 
   //===--- Heap helpers ------------------------------------------------------------
 
-  HeapObject *objectOf(Frame &F, const std::string &Var) {
-    Value V = local(F, Var);
+  HeapObject *objectOf(Frame &F, SymId Var, ObjectId *IdOut = nullptr) {
+    const Value &V = local(F, Var);
     if (V.K != Value::Kind::Ref) {
-      setError("'" + Var + "' does not hold an object reference");
+      setError("'" + Syms->name(Var) + "' does not hold an object reference");
       return nullptr;
     }
     auto It = Objects.find(static_cast<ObjectId>(V.I));
     if (It == Objects.end()) {
-      setError("'" + Var + "' is not an object");
-      return nullptr;
-    }
-    return &It->second;
-  }
-
-  HeapArray *arrayOf(Frame &F, const std::string &Var, ObjectId *IdOut) {
-    Value V = local(F, Var);
-    if (V.K != Value::Kind::Ref) {
-      setError("'" + Var + "' does not hold an array reference");
-      return nullptr;
-    }
-    auto It = Arrays.find(static_cast<ObjectId>(V.I));
-    if (It == Arrays.end()) {
-      setError("'" + Var + "' is not an array");
+      setError("'" + Syms->name(Var) + "' is not an object");
       return nullptr;
     }
     if (IdOut)
@@ -475,8 +490,30 @@ private:
     return &It->second;
   }
 
-  bool isVolatile(const std::string &Field) const {
-    return Prog.isFieldVolatileAnywhere(Field);
+  HeapArray *arrayOf(Frame &F, SymId Var, ObjectId *IdOut) {
+    const Value &V = local(F, Var);
+    if (V.K != Value::Kind::Ref) {
+      setError("'" + Syms->name(Var) + "' does not hold an array reference");
+      return nullptr;
+    }
+    auto It = Arrays.find(static_cast<ObjectId>(V.I));
+    if (It == Arrays.end()) {
+      setError("'" + Syms->name(Var) + "' is not an array");
+      return nullptr;
+    }
+    if (IdOut)
+      *IdOut = static_cast<ObjectId>(V.I);
+    return &It->second;
+  }
+
+  static Value fieldValue(const HeapObject &Obj, FieldId Field) {
+    return Field < Obj.Fields.size() ? Obj.Fields[Field] : Value::intV(0);
+  }
+
+  static void setField(HeapObject &Obj, FieldId Field, Value V) {
+    if (Field >= Obj.Fields.size())
+      Obj.Fields.resize(Field + 1);
+    Obj.Fields[Field] = V;
   }
 
   //===--- Statement execution -------------------------------------------------------
@@ -489,22 +526,22 @@ private:
       return StepResult::Progress;
     case StmtKind::Assign: {
       const auto *A = cast<AssignStmt>(S);
-      F.Locals[A->target()] = eval(F, A->value());
+      local(F, A->TargetSym) = eval(F, A->value());
       return StepResult::Progress;
     }
     case StmtKind::Rename: {
       const auto *Ren = cast<RenameStmt>(S);
-      F.Locals[Ren->target()] = local(F, Ren->source());
+      local(F, Ren->TargetSym) = local(F, Ren->SourceSym);
       return StepResult::Progress;
     }
     case StmtKind::New: {
       const auto *N = cast<NewStmt>(S);
       HeapObject Obj;
-      Obj.Cls = Prog.findClass(N->className());
+      Obj.Cls = N->ClassCache;
       ObjectId Id = NextId++;
       Objects.emplace(Id, std::move(Obj));
-      counters().bump("vm.heapBytes", 64);
-      F.Locals[N->target()] = Value::refV(Id);
+      VmHeapBytesC.bump(64);
+      local(F, N->TargetSym) = Value::refV(Id);
       return StepResult::Progress;
     }
     case StmtKind::NewArray: {
@@ -518,13 +555,12 @@ private:
       Arr.Elems.assign(static_cast<size_t>(Size.I), Value::intV(0));
       ObjectId Id = NextId++;
       Arrays.emplace(Id, std::move(Arr));
-      counters().bump("vm.heapBytes",
-                      32 + static_cast<uint64_t>(Size.I) * 16);
+      VmHeapBytesC.bump(32 + static_cast<uint64_t>(Size.I) * 16);
       if (Tool)
         Tool->onArrayAlloc(Id, Size.I);
       if (Gt)
         Gt->onArrayAlloc(Id, Size.I);
-      F.Locals[N->target()] = Value::refV(Id);
+      local(F, N->TargetSym) = Value::refV(Id);
       return StepResult::Progress;
     }
     case StmtKind::NewBarrier: {
@@ -538,65 +574,65 @@ private:
       B.Parties = Parties.I;
       ObjectId Id = NextId++;
       Barriers.emplace(Id, std::move(B));
-      F.Locals[N->target()] = Value::refV(Id);
+      local(F, N->TargetSym) = Value::refV(Id);
       return StepResult::Progress;
     }
     case StmtKind::FieldRead: {
       const auto *Rd = cast<FieldReadStmt>(S);
-      HeapObject *Obj = objectOf(F, Rd->object());
+      ObjectId Id = 0;
+      HeapObject *Obj = objectOf(F, Rd->ObjectSym, &Id);
       if (!Obj)
         return StepResult::Progress;
-      ObjectId Id = static_cast<ObjectId>(local(F, Rd->object()).I);
-      if (isVolatile(Rd->field())) {
-        counters().bump("vm.syncOps");
+      if (Prog.isFieldVolatileById(Rd->FieldSym)) {
+        VmSyncOpsC.bump();
         traceSync(Tid, TraceEvent::Kind::Acquire);
         if (Tool)
-          Tool->onVolatileRead(Tid, Id, Rd->field());
+          Tool->onVolatileRead(Tid, Id, Rd->FieldSym);
         if (Gt)
-          Gt->onVolatileRead(Tid, Id, Rd->field());
+          Gt->onVolatileRead(Tid, Id, Rd->FieldSym);
       } else {
-        counters().bump("vm.accesses");
-        counters().bump("vm.accesses.field");
-        traceLoc(Tid, TraceEvent::Kind::Access, fieldLoc(Id, Rd->field()),
-                 AccessKind::Read);
+        VmAccessesC.bump();
+        VmAccessesFieldC.bump();
+        if (Opts.RecordEventTrace)
+          traceLoc(Tid, TraceEvent::Kind::Access,
+                   lockey::objField(Id, Rd->field()), AccessKind::Read);
         if (Gt)
-          Gt->checkFields(Tid, Id, {Rd->field()}, AccessKind::Read);
+          Gt->checkFields(Tid, Id, &Rd->FieldSym, 1, AccessKind::Read);
       }
-      auto It = Obj->Fields.find(Rd->field());
-      F.Locals[Rd->target()] =
-          It == Obj->Fields.end() ? Value::intV(0) : It->second;
+      local(F, Rd->TargetSym) = fieldValue(*Obj, Rd->FieldSym);
       return StepResult::Progress;
     }
     case StmtKind::FieldWrite: {
       const auto *Wr = cast<FieldWriteStmt>(S);
       Value V = eval(F, Wr->value());
-      HeapObject *Obj = objectOf(F, Wr->object());
+      ObjectId Id = 0;
+      HeapObject *Obj = objectOf(F, Wr->ObjectSym, &Id);
       if (!Obj)
         return StepResult::Progress;
-      ObjectId Id = static_cast<ObjectId>(local(F, Wr->object()).I);
-      if (isVolatile(Wr->field())) {
-        counters().bump("vm.syncOps");
+      if (Prog.isFieldVolatileById(Wr->FieldSym)) {
+        VmSyncOpsC.bump();
         traceSync(Tid, TraceEvent::Kind::Release);
         if (Tool)
-          Tool->onVolatileWrite(Tid, Id, Wr->field());
+          Tool->onVolatileWrite(Tid, Id, Wr->FieldSym);
         if (Gt)
-          Gt->onVolatileWrite(Tid, Id, Wr->field());
+          Gt->onVolatileWrite(Tid, Id, Wr->FieldSym);
       } else {
-        counters().bump("vm.accesses");
-        counters().bump("vm.accesses.field");
-        traceLoc(Tid, TraceEvent::Kind::Access, fieldLoc(Id, Wr->field()),
-                 AccessKind::Write);
+        VmAccessesC.bump();
+        VmAccessesFieldC.bump();
+        if (Opts.RecordEventTrace)
+          traceLoc(Tid, TraceEvent::Kind::Access,
+                   lockey::objField(Id, Wr->field()), AccessKind::Write);
         if (Gt)
-          Gt->checkFields(Tid, Id, {Wr->field()}, AccessKind::Write);
+          Gt->checkFields(Tid, Id, &Wr->FieldSym, 1, AccessKind::Write);
       }
-      Obj->Fields[Wr->field()] = V;
+      setField(*Obj, Wr->FieldSym, V);
       return StepResult::Progress;
     }
     case StmtKind::ArrayRead: {
       const auto *Rd = cast<ArrayReadStmt>(S);
       Value Idx = eval(F, Rd->index());
       ObjectId Id = 0;
-      HeapArray *Arr = arrayOf(F, Rd->array(), &Id);
+      HeapArray *Arr = arrayOf(F, Rd->ArraySym, &Id);
       if (!Arr)
         return StepResult::Progress;
       if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
@@ -604,14 +640,15 @@ private:
         setError("array index out of bounds: " + Idx.str());
         return StepResult::Progress;
       }
-      counters().bump("vm.accesses");
-      counters().bump("vm.accesses.array");
-      traceLoc(Tid, TraceEvent::Kind::Access, elemLoc(Id, Idx.I),
-               AccessKind::Read);
+      VmAccessesC.bump();
+      VmAccessesArrayC.bump();
+      if (Opts.RecordEventTrace)
+        traceLoc(Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
+                 AccessKind::Read);
       if (Gt)
         Gt->checkArrayRange(Tid, Id, StridedRange::singleton(Idx.I),
                             AccessKind::Read);
-      F.Locals[Rd->target()] = Arr->Elems[static_cast<size_t>(Idx.I)];
+      local(F, Rd->TargetSym) = Arr->Elems[static_cast<size_t>(Idx.I)];
       return StepResult::Progress;
     }
     case StmtKind::ArrayWrite: {
@@ -619,7 +656,7 @@ private:
       Value Idx = eval(F, Wr->index());
       Value V = eval(F, Wr->value());
       ObjectId Id = 0;
-      HeapArray *Arr = arrayOf(F, Wr->array(), &Id);
+      HeapArray *Arr = arrayOf(F, Wr->ArraySym, &Id);
       if (!Arr)
         return StepResult::Progress;
       if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
@@ -627,10 +664,11 @@ private:
         setError("array index out of bounds: " + Idx.str());
         return StepResult::Progress;
       }
-      counters().bump("vm.accesses");
-      counters().bump("vm.accesses.array");
-      traceLoc(Tid, TraceEvent::Kind::Access, elemLoc(Id, Idx.I),
-               AccessKind::Write);
+      VmAccessesC.bump();
+      VmAccessesArrayC.bump();
+      if (Opts.RecordEventTrace)
+        traceLoc(Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
+                 AccessKind::Write);
       if (Gt)
         Gt->checkArrayRange(Tid, Id, StridedRange::singleton(Idx.I),
                             AccessKind::Write);
@@ -639,16 +677,17 @@ private:
     }
     case StmtKind::ArrayLen: {
       const auto *L = cast<ArrayLenStmt>(S);
-      HeapArray *Arr = arrayOf(F, L->array(), nullptr);
+      HeapArray *Arr = arrayOf(F, L->ArraySym, nullptr);
       if (!Arr)
         return StepResult::Progress;
-      F.Locals[L->target()] =
+      local(F, L->TargetSym) =
           Value::intV(static_cast<int64_t>(Arr->Elems.size()));
       return StepResult::Progress;
     }
     case StmtKind::Acquire: {
       const auto *Acq = cast<AcquireStmt>(S);
-      HeapObject *Obj = objectOf(F, Acq->lockVar());
+      ObjectId Id = 0;
+      HeapObject *Obj = objectOf(F, Acq->LockSym, &Id);
       if (!Obj)
         return StepResult::Progress;
       if (Obj->LockOwner == static_cast<int32_t>(Tid)) {
@@ -659,8 +698,7 @@ private:
         return StepResult::Blocked;
       Obj->LockOwner = static_cast<int32_t>(Tid);
       Obj->LockDepth = 1;
-      ObjectId Id = static_cast<ObjectId>(local(F, Acq->lockVar()).I);
-      counters().bump("vm.syncOps");
+      VmSyncOpsC.bump();
       traceSync(Tid, TraceEvent::Kind::Acquire);
       if (Tool)
         Tool->onAcquire(Tid, Id);
@@ -670,7 +708,8 @@ private:
     }
     case StmtKind::Release: {
       const auto *Rel = cast<ReleaseStmt>(S);
-      HeapObject *Obj = objectOf(F, Rel->lockVar());
+      ObjectId Id = 0;
+      HeapObject *Obj = objectOf(F, Rel->LockSym, &Id);
       if (!Obj)
         return StepResult::Progress;
       if (Obj->LockOwner != static_cast<int32_t>(Tid)) {
@@ -680,8 +719,7 @@ private:
       if (--Obj->LockDepth > 0)
         return StepResult::Progress;
       Obj->LockOwner = -1;
-      ObjectId Id = static_cast<ObjectId>(local(F, Rel->lockVar()).I);
-      counters().bump("vm.syncOps");
+      VmSyncOpsC.bump();
       traceSync(Tid, TraceEvent::Kind::Release);
       if (Tool)
         Tool->onRelease(Tid, Id);
@@ -691,40 +729,41 @@ private:
     }
     case StmtKind::Call: {
       const auto *C = cast<CallStmt>(S);
-      pushCall(T, C->receiver(), C->method(), C->args(), C->target());
+      pushCall(T, C->ReceiverSym, C->method(), C->args(), C->TargetSym);
       return StepResult::Progress;
     }
     case StmtKind::Fork: {
       const auto *Fork = cast<ForkStmt>(S);
-      Value Recv = local(F, Fork->receiver());
-      const MethodDecl *M = resolveMethod(F, Fork->receiver(),
+      Value Recv = local(F, Fork->ReceiverSym);
+      const MethodDecl *M = resolveMethod(F, Fork->ReceiverSym,
                                           Fork->method());
       if (!M)
         return StepResult::Progress;
       auto Child = std::make_unique<ThreadCtx>();
       Child->Tid = static_cast<ThreadId>(Threads.size());
-      Frame CF;
+      Frame CF = makeFrame();
       CF.Method = M;
-      CF.Locals["$g"] = Value::refV(GlobalObj);
-      CF.Locals["this"] = Recv;
+      CF.Locals[GSym] = Value::refV(GlobalObj);
+      CF.Locals[ThisSym] = Recv;
       bindArgs(F, CF, M, Fork->args());
       CF.Tasks.push_back(Task{M->Body.get(), 0, 0});
       Child->Frames.push_back(std::move(CF));
       ThreadId ChildTid = Child->Tid;
       Threads.push_back(std::move(Child));
-      counters().bump("vm.syncOps");
+      VmSyncOpsC.bump();
       traceSync(Tid, TraceEvent::Kind::Release);
       if (Tool)
         Tool->onFork(Tid, ChildTid);
       if (Gt)
         Gt->onFork(Tid, ChildTid);
-      T.Frames.back().Locals[Fork->target()] =
-          Value::intV(static_cast<int64_t>(ChildTid));
+      if (Fork->TargetSym != kNoSym)
+        local(T.Frames.back(), Fork->TargetSym) =
+            Value::intV(static_cast<int64_t>(ChildTid));
       return StepResult::Progress;
     }
     case StmtKind::Join: {
       const auto *J = cast<JoinStmt>(S);
-      Value H = local(F, J->handle());
+      Value H = local(F, J->HandleSym);
       if (H.K != Value::Kind::Int || H.I < 0 ||
           H.I >= static_cast<int64_t>(Threads.size())) {
         setError("join on an invalid thread handle");
@@ -733,7 +772,7 @@ private:
       ThreadCtx &Joined = *Threads[static_cast<size_t>(H.I)];
       if (!Joined.Finished)
         return StepResult::Blocked;
-      counters().bump("vm.syncOps");
+      VmSyncOpsC.bump();
       traceSync(Tid, TraceEvent::Kind::Acquire);
       if (Tool)
         Tool->onJoin(Tid, Joined.Tid);
@@ -743,7 +782,7 @@ private:
     }
     case StmtKind::Await: {
       const auto *A = cast<AwaitStmt>(S);
-      Value BV = local(F, A->barrierVar());
+      Value BV = local(F, A->BarrierSym);
       auto It = BV.K == Value::Kind::Ref
                     ? Barriers.find(static_cast<ObjectId>(BV.I))
                     : Barriers.end();
@@ -758,7 +797,7 @@ private:
         traceSync(Tid, TraceEvent::Kind::Release);
         B.Arrived.push_back(Tid);
         if (static_cast<int64_t>(B.Arrived.size()) == B.Parties) {
-          counters().bump("vm.syncOps");
+          VmSyncOpsC.bump();
           if (Tool)
             Tool->onBarrier(B.Arrived);
           if (Gt)
@@ -795,7 +834,7 @@ private:
     }
   }
 
-  const MethodDecl *resolveMethod(Frame &F, const std::string &ReceiverVar,
+  const MethodDecl *resolveMethod(Frame &F, SymId ReceiverVar,
                                   const std::string &Name) {
     HeapObject *Obj = objectOf(F, ReceiverVar);
     if (!Obj)
@@ -815,27 +854,26 @@ private:
 
   void bindArgs(Frame &Caller, Frame &Callee, const MethodDecl *M,
                 const std::vector<std::unique_ptr<Expr>> &Args) {
-    if (Args.size() != M->Params.size()) {
+    if (Args.size() != M->ParamSyms.size()) {
       setError("wrong argument count for '" + M->Name + "'");
       return;
     }
     for (size_t I = 0; I < Args.size(); ++I)
-      Callee.Locals[M->Params[I]] = eval(Caller, Args[I].get());
+      Callee.Locals[M->ParamSyms[I]] = eval(Caller, Args[I].get());
   }
 
-  void pushCall(ThreadCtx &T, const std::string &ReceiverVar,
-                const std::string &Name,
+  void pushCall(ThreadCtx &T, SymId ReceiverVar, const std::string &Name,
                 const std::vector<std::unique_ptr<Expr>> &Args,
-                const std::string &Target) {
+                SymId Target) {
     Frame &F = T.Frames.back();
     const MethodDecl *M = resolveMethod(F, ReceiverVar, Name);
     if (!M)
       return;
-    Frame Callee;
+    Frame Callee = makeFrame();
     Callee.Method = M;
-    Callee.ReturnTarget = Target;
-    Callee.Locals["$g"] = Value::refV(GlobalObj);
-    Callee.Locals["this"] = local(F, ReceiverVar);
+    Callee.ReturnTargetSym = Target;
+    Callee.Locals[GSym] = Value::refV(GlobalObj);
+    Callee.Locals[ThisSym] = local(F, ReceiverVar);
     bindArgs(F, Callee, M, Args);
     Callee.Tasks.push_back(Task{M->Body.get(), 0, 0});
     if (T.Frames.size() > 512) {
@@ -845,18 +883,26 @@ private:
     T.Frames.push_back(std::move(Callee));
   }
 
+  /// Evaluates a compiled affine bound over the frame's locals. Matches
+  /// AffineExpr::evaluate over the string environment: unset locals read
+  /// as 0, non-integer locals make the bound undefined.
+  std::optional<int64_t> evalBound(Frame &F, const Path::CompiledBound &B) {
+    int64_t V = B.Constant;
+    for (const auto &[Sym, Coeff] : B.Terms) {
+      const Value &L = local(F, Sym);
+      if (L.K != Value::Kind::Int)
+        return std::nullopt;
+      V += Coeff * L.I;
+    }
+    return V;
+  }
+
   void execCheck(ThreadCtx &T, const CheckStmt *Check) {
     if (!Tool)
       return;
     Frame &F = T.Frames.back();
-    auto Env = [this, &F](const std::string &Name) -> std::optional<int64_t> {
-      Value V = local(F, Name);
-      if (V.K != Value::Kind::Int)
-        return std::nullopt;
-      return V.I;
-    };
     for (const Path &P : Check->paths()) {
-      Value D = local(F, P.Designator);
+      const Value &D = local(F, P.DesignatorSym);
       if (D.K != Value::Kind::Ref) {
         setError("check designator '" + P.Designator +
                  "' is not a reference");
@@ -866,13 +912,14 @@ private:
       if (P.isField()) {
         if (Opts.RecordEventTrace)
           for (const std::string &Fld : P.Fields)
-            traceLoc(T.Tid, TraceEvent::Kind::Check, fieldLoc(Id, Fld),
-                     P.Access);
-        Tool->checkFields(T.Tid, Id, P.Fields, P.Access);
+            traceLoc(T.Tid, TraceEvent::Kind::Check,
+                     lockey::objField(Id, Fld), P.Access);
+        Tool->checkFields(T.Tid, Id, P.FieldSyms.data(), P.FieldSyms.size(),
+                          P.Access);
         continue;
       }
-      std::optional<int64_t> Begin = P.Range.Begin.evaluate(Env);
-      std::optional<int64_t> End = P.Range.End.evaluate(Env);
+      std::optional<int64_t> Begin = evalBound(F, P.BeginC);
+      std::optional<int64_t> End = evalBound(F, P.EndC);
       if (!Begin || !End) {
         setError("check range bounds are not integers");
         return;
@@ -882,7 +929,7 @@ private:
       StridedRange Concrete(*Begin, *End, P.Range.Stride);
       if (Opts.RecordEventTrace && Concrete.size() <= 10000)
         for (int64_t Elem : Concrete.elements())
-          traceLoc(T.Tid, TraceEvent::Kind::Check, elemLoc(Id, Elem),
+          traceLoc(T.Tid, TraceEvent::Kind::Check, lockey::arrayElem(Id, Elem),
                    P.Access);
       Tool->checkArrayRange(T.Tid, Id, Concrete, P.Access);
     }

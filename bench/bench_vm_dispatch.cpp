@@ -1,0 +1,138 @@
+//===- bench_vm_dispatch.cpp - AST walker vs bytecode dispatch cost ----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Measures pure interpreter dispatch: each suite workload runs with no
+// detector attached (base configuration), once on the AST walker and once
+// on the compiled register bytecode, best-of-N each. The metric is ns per
+// scheduler step (VmResult::StatementsExecuted), which both modes count
+// identically — verified here on every workload before any number is
+// reported.
+//
+// Emits BENCH_vm_dispatch.json; later PRs compare against it to track the
+// dispatch layer's perf trajectory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "vm/Vm.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace bigfoot;
+
+namespace {
+
+struct DispatchRow {
+  std::string Workload;
+  uint64_t Statements = 0;
+  double AstNs = 0;      ///< ns/statement, AST walker.
+  double BytecodeNs = 0; ///< ns/statement, compiled bytecode.
+  double speedup() const { return BytecodeNs > 0 ? AstNs / BytecodeNs : 0; }
+};
+
+/// Best-of-N base run in one execution mode; returns {best seconds, steps}.
+std::pair<double, uint64_t> timeMode(const Program &Prog, bool UseBytecode,
+                                     const BenchArgs &Args) {
+  VmOptions Opts;
+  Opts.Seed = Args.Opts.Seed;
+  Opts.UseBytecode = UseBytecode;
+  double Best = 1e100;
+  uint64_t Steps = 0;
+  int Iters = Args.Opts.Iterations > 0 ? Args.Opts.Iterations : 1;
+  for (int I = 0; I < Iters; ++I) {
+    Timer T;
+    VmResult R = runProgramBase(Prog, Opts);
+    double Sec = T.seconds();
+    if (!R.Ok) {
+      std::fprintf(stderr, "base run failed: %s\n", R.Error.c_str());
+      std::abort();
+    }
+    if (Sec < Best)
+      Best = Sec;
+    Steps = R.StatementsExecuted;
+  }
+  return {Best, Steps};
+}
+
+DispatchRow measureWorkload(const Workload &W, const BenchArgs &Args) {
+  ParseResult PR = parseProgram(W.Source);
+  if (!PR.ok()) {
+    std::fprintf(stderr, "workload %s failed to parse: %s\n", W.Name.c_str(),
+                 PR.Error.c_str());
+    std::abort();
+  }
+  auto [AstSec, AstSteps] = timeMode(*PR.Prog, /*UseBytecode=*/false, Args);
+  auto [BcSec, BcSteps] = timeMode(*PR.Prog, /*UseBytecode=*/true, Args);
+  if (AstSteps != BcSteps) {
+    std::fprintf(stderr,
+                 "workload %s: step accounting diverged (ast=%llu bc=%llu)\n",
+                 W.Name.c_str(), static_cast<unsigned long long>(AstSteps),
+                 static_cast<unsigned long long>(BcSteps));
+    std::abort();
+  }
+  DispatchRow Row;
+  Row.Workload = W.Name;
+  Row.Statements = AstSteps;
+  if (AstSteps > 0) {
+    Row.AstNs = AstSec * 1e9 / static_cast<double>(AstSteps);
+    Row.BytecodeNs = BcSec * 1e9 / static_cast<double>(BcSteps);
+  }
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+
+  std::vector<DispatchRow> Rows;
+  for (const Workload &W : standardSuite(Args.Scale))
+    Rows.push_back(measureWorkload(W, Args));
+
+  TablePrinter Table("VM dispatch: ns per scheduler step");
+  Table.addRow({"Program", "Steps", "AST", "Bytecode", "Speedup"});
+  double LogSum = 0;
+  for (const DispatchRow &R : Rows) {
+    Table.addRow({R.Workload, std::to_string(R.Statements),
+                  TablePrinter::num(R.AstNs, 1),
+                  TablePrinter::num(R.BytecodeNs, 1),
+                  TablePrinter::num(R.speedup(), 2)});
+    LogSum += std::log(R.speedup() > 1e-6 ? R.speedup() : 1e-6);
+  }
+  double Geomean =
+      Rows.empty() ? 0 : std::exp(LogSum / static_cast<double>(Rows.size()));
+  Table.addRow({"GeoMean", "", "", "", TablePrinter::num(Geomean, 2)});
+  Table.print(std::cout);
+
+  std::string Json = "{\"bench\":\"vm_dispatch\","
+                     "\"unit\":\"ns_per_statement\",\"workloads\":{";
+  bool First = true;
+  for (const DispatchRow &R : Rows) {
+    char Buf[224];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\"%s\":{\"ast\":%.2f,\"bytecode\":%.2f,"
+                  "\"speedup\":%.2f}",
+                  First ? "" : ",", R.Workload.c_str(), R.AstNs,
+                  R.BytecodeNs, R.speedup());
+    Json += Buf;
+    First = false;
+  }
+  char Tail[64];
+  std::snprintf(Tail, sizeof(Tail), "},\"geomean_speedup\":%.2f}", Geomean);
+  Json += Tail;
+
+  std::FILE *Out = std::fopen("BENCH_vm_dispatch.json", "w");
+  if (Out) {
+    std::fprintf(Out, "%s\n", Json.c_str());
+    std::fclose(Out);
+  }
+  std::cout << "\n" << Json << "\n";
+  return 0;
+}

@@ -3,6 +3,27 @@
 // Part of the BigFoot reproduction. See README.md for details.
 //
 //===----------------------------------------------------------------------===//
+//
+// Measurement is split into two phases so the suite can use every core
+// without contaminating its numbers:
+//
+//   1. Counters (check ratios, shadow ops, races, peak shadow memory,
+//      static placement stats) come from one untimed run per (workload ×
+//      config) cell. Cells are independent — each parses its own Program
+//      (the VM re-interns the AST at attach, so jobs must not share one)
+//      and writes only its pre-assigned slot — and are distributed over a
+//      fixed pool of ExperimentOptions::Jobs threads. The result vector
+//      is identical for any Jobs value, including 1.
+//
+//   2. Wall-clock timing (BaseSeconds, per-tool Seconds/OverheadX) runs
+//      afterwards, serially, best-of-N on the quiesced pool, exactly as
+//      the serial driver always did. Iterations == 0 skips this phase for
+//      counter-only consumers (e.g. the memory and check-ratio tables).
+//
+// Both phases are deterministic given the seed, so phase 1's counters are
+// the counters a timed run would have produced.
+//
+//===----------------------------------------------------------------------===//
 
 #include "harness/Experiment.h"
 
@@ -11,10 +32,12 @@
 #include "support/Timer.h"
 #include "vm/Vm.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 using namespace bigfoot;
 
@@ -27,6 +50,49 @@ const ToolMetrics &ExperimentResult::tool(const std::string &Name) const {
 }
 
 namespace {
+
+/// fasttrack, redcard, slimstate, slimcard, bigfoot, djit — the fixed
+/// Tools order (djit is an extra baseline beyond the paper's five).
+constexpr int kNumTools = 6;
+constexpr int kBigFootIdx = 4;
+
+VmOptions vmOptionsFor(const ExperimentOptions &Opts) {
+  VmOptions VmOpts;
+  VmOpts.Seed = Opts.Seed;
+  VmOpts.UseBytecode = Opts.UseBytecode;
+  return VmOpts;
+}
+
+ParseResult parseWorkload(const Workload &W) {
+  ParseResult PR = parseProgram(W.Source);
+  if (!PR.ok()) {
+    std::fprintf(stderr, "workload %s failed to parse: %s\n", W.Name.c_str(),
+                 PR.Error.c_str());
+    std::abort();
+  }
+  return PR;
+}
+
+InstrumentedProgram instrumentFor(const Program &Prog, int ToolIdx) {
+  switch (ToolIdx) {
+  case 0:
+    return instrumentFastTrack(Prog);
+  case 1:
+    return instrumentRedCard(Prog);
+  case 2:
+    return instrumentSlimState(Prog);
+  case 3:
+    return instrumentSlimCard(Prog);
+  case kBigFootIdx:
+    return instrumentBigFoot(Prog);
+  default: {
+    // DJIT+ (vector clocks everywhere) on the per-access placement.
+    InstrumentedProgram Djit = instrumentFastTrack(Prog);
+    Djit.Tool = djitConfig();
+    return Djit;
+  }
+  }
+}
 
 /// Best-of-N timed run; returns the last VmResult (all runs are
 /// deterministic given the seed, so any result is representative).
@@ -46,25 +112,68 @@ std::pair<double, VmResult> timedBest(int Iterations, RunFn Run) {
   return {Best, std::move(Last)};
 }
 
-} // namespace
-
-ExperimentResult bigfoot::runExperiment(const Workload &W,
-                                        const ExperimentOptions &Opts) {
-  ExperimentResult Out;
-  Out.Workload = W.Name;
-
-  ParseResult PR = parseProgram(W.Source);
-  if (!PR.ok()) {
-    std::fprintf(stderr, "workload %s failed to parse: %s\n",
-                 W.Name.c_str(), PR.Error.c_str());
+/// Phase-1 cell: the base (uninstrumented) run's access and heap
+/// counters. Writes only the base fields of \p Out.
+void measureBase(const Workload &W, const ExperimentOptions &Opts,
+                 ExperimentResult &Out) {
+  ParseResult PR = parseWorkload(W);
+  VmOptions VmOpts = vmOptionsFor(Opts);
+  VmResult Run = runProgramBase(*PR.Prog, VmOpts);
+  if (!Run.Ok) {
+    std::fprintf(stderr, "workload %s failed: %s\n", W.Name.c_str(),
+                 Run.Error.c_str());
     std::abort();
   }
+  Out.Accesses = Run.Counters.get("vm.accesses");
+  Out.FieldAccesses = Run.Counters.get("vm.accesses.field");
+  Out.ArrayAccesses = Run.Counters.get("vm.accesses.array");
+  Out.BaseHeapBytes = Run.Counters.get("vm.heapBytes");
+}
+
+/// Phase-1 cell: one instrumented configuration's counters. Writes only
+/// Out.Tools[ToolIdx] (pre-sized by the caller) and, for BigFoot, the
+/// static placement stats.
+void measureTool(const Workload &W, const ExperimentOptions &Opts,
+                 int ToolIdx, ExperimentResult &Out) {
+  ParseResult PR = parseWorkload(W);
+  InstrumentedProgram IP = instrumentFor(*PR.Prog, ToolIdx);
+  if (ToolIdx == kBigFootIdx) {
+    Out.StaticSeconds = IP.Placement.AnalysisSeconds;
+    Out.MethodsProcessed = IP.Placement.MethodsProcessed;
+    Out.BigFootChecks = IP.Placement.ChecksInserted;
+  }
+  VmOptions VmOpts = vmOptionsFor(Opts);
+  VmResult Run = runProgram(*IP.Prog, IP.Tool, VmOpts);
+  if (!Run.Ok) {
+    std::fprintf(stderr, "workload %s under %s failed: %s\n", W.Name.c_str(),
+                 IP.Tool.Name.c_str(), Run.Error.c_str());
+    std::abort();
+  }
+  ToolMetrics &M = Out.Tools[static_cast<size_t>(ToolIdx)];
+  M.Tool = IP.Tool.Name;
+  uint64_t FieldEvents = Run.Counters.get("tool.checkEvents.field");
+  uint64_t ArrayEvents = Run.Counters.get("tool.checkEvents.array");
+  uint64_t Accesses = Run.Counters.get("vm.accesses");
+  if (Accesses > 0) {
+    M.CheckRatio =
+        static_cast<double>(FieldEvents + ArrayEvents) / Accesses;
+    M.FieldCheckRatio = static_cast<double>(FieldEvents) / Accesses;
+    M.ArrayCheckRatio = static_cast<double>(ArrayEvents) / Accesses;
+  }
+  M.ShadowOps = Run.Counters.get("tool.shadowOps");
+  M.Races = Run.Counters.get("tool.races");
+  M.PeakShadowBytes = Run.Counters.get("tool.peakShadowBytes");
+  M.PeakShadowLocations = Run.Counters.get("tool.peakShadowLocations");
+}
+
+/// Phase 2: best-of-N wall-clock timing for one workload (base plus every
+/// configuration). Serial by design — call only on a quiesced pool.
+void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
+                  ExperimentResult &Out) {
+  ParseResult PR = parseWorkload(W);
   const Program &Prog = *PR.Prog;
+  VmOptions VmOpts = vmOptionsFor(Opts);
 
-  VmOptions VmOpts;
-  VmOpts.Seed = Opts.Seed;
-
-  // Base (uninstrumented) run.
   auto [BaseSec, BaseRun] = timedBest(Opts.Iterations, [&Prog, &VmOpts] {
     return runProgramBase(Prog, VmOpts);
   });
@@ -74,68 +183,94 @@ ExperimentResult bigfoot::runExperiment(const Workload &W,
     std::abort();
   }
   Out.BaseSeconds = BaseSec;
-  Out.Accesses = BaseRun.Counters.get("vm.accesses");
-  Out.FieldAccesses = BaseRun.Counters.get("vm.accesses.field");
-  Out.ArrayAccesses = BaseRun.Counters.get("vm.accesses.array");
-  Out.BaseHeapBytes = BaseRun.Counters.get("vm.heapBytes");
 
-  // Instrument once per tool, measuring BigFoot's analysis time.
-  std::vector<InstrumentedProgram> All;
-  All.push_back(instrumentFastTrack(Prog));
-  All.push_back(instrumentRedCard(Prog));
-  All.push_back(instrumentSlimState(Prog));
-  All.push_back(instrumentSlimCard(Prog));
-  All.push_back(instrumentBigFoot(Prog));
-  // Extra baseline beyond the paper's five: DJIT+ (vector clocks
-  // everywhere) on the per-access placement.
-  {
-    InstrumentedProgram Djit = instrumentFastTrack(Prog);
-    Djit.Tool = djitConfig();
-    All.push_back(std::move(Djit));
-  }
-  Out.StaticSeconds = All[4].Placement.AnalysisSeconds;
-  Out.MethodsProcessed = All[4].Placement.MethodsProcessed;
-  Out.BigFootChecks = All[4].Placement.ChecksInserted;
-
-  for (InstrumentedProgram &IP : All) {
+  for (int T = 0; T < kNumTools; ++T) {
+    InstrumentedProgram IP = instrumentFor(Prog, T);
     auto [ToolSec, Run] = timedBest(Opts.Iterations, [&IP, &VmOpts] {
       return runProgram(*IP.Prog, IP.Tool, VmOpts);
     });
     if (!Run.Ok) {
       std::fprintf(stderr, "workload %s under %s failed: %s\n",
-                   W.Name.c_str(), IP.Tool.Name.c_str(),
-                   Run.Error.c_str());
+                   W.Name.c_str(), IP.Tool.Name.c_str(), Run.Error.c_str());
       std::abort();
     }
-    ToolMetrics M;
-    M.Tool = IP.Tool.Name;
+    ToolMetrics &M = Out.Tools[static_cast<size_t>(T)];
     M.Seconds = ToolSec;
     M.OverheadX = Out.BaseSeconds > 0
                       ? (ToolSec - Out.BaseSeconds) / Out.BaseSeconds
                       : 0;
-    uint64_t FieldEvents = Run.Counters.get("tool.checkEvents.field");
-    uint64_t ArrayEvents = Run.Counters.get("tool.checkEvents.array");
-    uint64_t Accesses = Run.Counters.get("vm.accesses");
-    if (Accesses > 0) {
-      M.CheckRatio =
-          static_cast<double>(FieldEvents + ArrayEvents) / Accesses;
-      M.FieldCheckRatio = static_cast<double>(FieldEvents) / Accesses;
-      M.ArrayCheckRatio = static_cast<double>(ArrayEvents) / Accesses;
-    }
-    M.ShadowOps = Run.Counters.get("tool.shadowOps");
-    M.Races = Run.Counters.get("tool.races");
-    M.PeakShadowBytes = Run.Counters.get("tool.peakShadowBytes");
-    M.PeakShadowLocations = Run.Counters.get("tool.peakShadowLocations");
-    Out.Tools.push_back(std::move(M));
   }
+}
+
+} // namespace
+
+ExperimentResult bigfoot::runExperiment(const Workload &W,
+                                        const ExperimentOptions &Opts) {
+  ExperimentResult Out;
+  Out.Workload = W.Name;
+  Out.Tools.resize(kNumTools);
+  measureBase(W, Opts, Out);
+  for (int T = 0; T < kNumTools; ++T)
+    measureTool(W, Opts, T, Out);
+  if (Opts.Iterations > 0)
+    timeWorkload(W, Opts, Out);
   return Out;
 }
 
 std::vector<ExperimentResult>
 bigfoot::runSuite(SuiteScale Scale, const ExperimentOptions &Opts) {
-  std::vector<ExperimentResult> Out;
-  for (const Workload &W : standardSuite(Scale))
-    Out.push_back(runExperiment(W, Opts));
+  std::vector<Workload> Suite = standardSuite(Scale);
+  std::vector<ExperimentResult> Out(Suite.size());
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    Out[I].Workload = Suite[I].Name;
+    Out[I].Tools.resize(kNumTools);
+  }
+
+  // Phase 1: one independent cell per (workload × config), base included.
+  // Each cell writes a disjoint part of its workload's pre-sized result,
+  // so workers never contend and order never depends on scheduling.
+  struct Cell {
+    size_t W;
+    int Tool; ///< -1 = base.
+  };
+  std::vector<Cell> Cells;
+  Cells.reserve(Suite.size() * (kNumTools + 1));
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    Cells.push_back({I, -1});
+    for (int T = 0; T < kNumTools; ++T)
+      Cells.push_back({I, T});
+  }
+  auto RunCell = [&](const Cell &C) {
+    if (C.Tool < 0)
+      measureBase(Suite[C.W], Opts, Out[C.W]);
+    else
+      measureTool(Suite[C.W], Opts, C.Tool, Out[C.W]);
+  };
+  size_t Jobs = Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
+  if (Jobs < 1)
+    Jobs = 1;
+  Jobs = std::min(Jobs, Cells.size());
+  if (Jobs <= 1) {
+    for (const Cell &C : Cells)
+      RunCell(C);
+  } else {
+    std::atomic<size_t> NextCell{0};
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (size_t J = 0; J < Jobs; ++J)
+      Pool.emplace_back([&] {
+        for (size_t I = NextCell.fetch_add(1); I < Cells.size();
+             I = NextCell.fetch_add(1))
+          RunCell(Cells[I]);
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Phase 2: wall-clock timing on the now-quiesced pool.
+  if (Opts.Iterations > 0)
+    for (size_t I = 0; I < Suite.size(); ++I)
+      timeWorkload(Suite[I], Opts, Out[I]);
   return Out;
 }
 
@@ -157,8 +292,12 @@ BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
       Args.Opts.Iterations = std::atoi(Argv[I] + 8);
     else if (std::strncmp(Argv[I], "--seed=", 7) == 0)
       Args.Opts.Seed = static_cast<uint64_t>(std::atoll(Argv[I] + 7));
+    else if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      Args.Opts.Jobs = static_cast<unsigned>(std::atoi(Argv[I] + 7));
+    else if (std::strcmp(Argv[I], "--ast") == 0)
+      Args.Opts.UseBytecode = false;
   }
-  if (Args.Opts.Iterations < 1)
+  if (Args.Opts.Iterations < 0)
     Args.Opts.Iterations = 1;
   return Args;
 }

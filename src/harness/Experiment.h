@@ -59,7 +59,18 @@ struct ExperimentResult {
 /// Experiment knobs.
 struct ExperimentOptions {
   int Iterations = 3; ///< Timed repetitions; the minimum is reported.
+                      ///< 0 skips wall-clock timing entirely (counters,
+                      ///< ratios, and shadow memory are still measured).
   uint64_t Seed = 1;
+  /// Worker threads for the measurement phase of runSuite (0 = one per
+  /// hardware thread). Every (workload × config) cell runs on its own
+  /// freshly parsed program and writes a pre-assigned slot, and timing
+  /// runs stay serial on the quiesced pool afterwards — so Jobs changes
+  /// neither the results nor their order, only the wall-clock spent.
+  unsigned Jobs = 0;
+  /// Execute workloads on the compiled bytecode VM (the default); false
+  /// selects the AST-walker reference (VmOptions::UseBytecode).
+  bool UseBytecode = true;
 };
 
 /// Runs all five detectors (plus the base) on one workload.
@@ -77,8 +88,8 @@ runSuite(SuiteScale Scale,
 /// positive epsilon as is conventional.
 double geomeanOverhead(const std::vector<double> &Overheads);
 
-/// Parses --small/--iters=N command-line options shared by the bench
-/// binaries.
+/// Parses --small/--iters=N/--seed=N/--jobs=N/--ast command-line options
+/// shared by the bench binaries.
 struct BenchArgs {
   SuiteScale Scale = SuiteScale::Bench;
   ExperimentOptions Opts;

@@ -55,11 +55,27 @@ void RaceDetector::report(const ReportedRace &Race) {
   Counters.bump("tool.races");
 }
 
+void RaceDetector::resolveProxyTable() {
+  if (Config.FieldProxy.empty())
+    return;
+  // Resolve ids in first-intern order. Interning a representative may
+  // append new symbols; the loop keeps going until it covers those too.
+  while (ProxyById.size() < Syms.size()) {
+    FieldId I = static_cast<FieldId>(ProxyById.size());
+    auto It = Config.FieldProxy.find(Syms.name(I));
+    ProxyById.push_back(It == Config.FieldProxy.end()
+                            ? I
+                            : Syms.intern(It->second));
+  }
+}
+
 FieldId RaceDetector::proxyOf(FieldId F) {
   if (Config.FieldProxy.empty())
     return F;
-  // Resolve ids in first-intern order. Interning a representative may
-  // append new symbols; those resolve themselves when first requested.
+  if (F < ProxyById.size()) // Resolved at attach time (the hot case).
+    return ProxyById[F];
+  // Cold path: an id interned after construction (string entry points,
+  // unseeded detectors). Extend in first-intern order as before.
   while (ProxyById.size() <= F) {
     FieldId I = static_cast<FieldId>(ProxyById.size());
     auto It = Config.FieldProxy.find(Syms.name(I));

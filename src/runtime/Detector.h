@@ -83,8 +83,13 @@ public:
   RaceDetector(DetectorConfig Config, Stats &Counters,
                const SymbolTable *Symbols = nullptr)
       : Config(std::move(Config)), Counters(Counters) {
-    if (Symbols)
+    if (Symbols) {
       Syms = *Symbols;
+      // With the host's table in hand, resolve the whole field -> proxy
+      // representative map up front; the hot path is then a plain indexed
+      // load with no string lookups.
+      resolveProxyTable();
+    }
   }
 
   const DetectorConfig &config() const { return Config; }
@@ -206,8 +211,13 @@ private:
   HotCounter EarlyCommitsC{Counters, "tool.earlyCommits"};
   HotCounter CommitsC{Counters, "tool.commits"};
 
-  /// The proxy representative for \p F, resolving (and caching) lazily.
+  /// The proxy representative for \p F: an indexed load when \p F was
+  /// known at attach time, lazy resolution for later-interned ids.
   FieldId proxyOf(FieldId F);
+
+  /// Resolves ProxyById for every currently interned id (constructor,
+  /// when seeded with the host program's symbol table).
+  void resolveProxyTable();
 
   /// Applies a range directly to the array shadow.
   void applyArray(ThreadId T, ObjectId Arr, const StridedRange &R,

@@ -1,0 +1,156 @@
+//===- Bytecode.h - Flat register bytecode for the BFJ VM -------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set the compiler (Compiler.h) lowers BFJ bodies into
+/// and the VM's bytecode loop executes. Instructions are fixed-size and
+/// register-based: registers [0, NumSyms) alias the frame's locals (a
+/// local's register IS its interned SymId, so no renaming pass and no
+/// translation at call boundaries), and registers from NumSyms up are
+/// per-statement expression temporaries.
+///
+/// Scheduler-step accounting is encoded in the instructions themselves:
+/// an instruction with Insn::Step set ends the current scheduler step
+/// when it retires, while Step-clear instructions (expression operators,
+/// unconditional jumps) are free bookkeeping executed within a step —
+/// mirroring exactly which AST-walker actions consumed a step. This is
+/// what makes the bytecode VM schedule-identical to the tree walker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_VM_BYTECODE_H
+#define BIGFOOT_VM_BYTECODE_H
+
+#include "support/Symbol.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bigfoot {
+
+class CheckStmt;
+class ClassDecl;
+struct MethodDecl;
+
+/// "Not a register": discarded call results. Deliberately the same value
+/// as kNoSym — locals and registers share one index space.
+inline constexpr uint32_t kNoReg = 0xFFFFFFFFu;
+
+enum class Opcode : uint8_t {
+  // Free expression / control operators (never carry effects beyond
+  // registers; Step-flagged only when fused with an Assign target).
+  Nop,        ///< No effect. Step-flagged, it is a Skip statement.
+  LoadInt,    ///< R[A] = Ints[B]
+  LoadNull,   ///< R[A] = null
+  Move,       ///< R[A] = R[B]
+  Neg,        ///< R[A] = -R[B] (error on non-integers)
+  Not,        ///< R[A] = !truthy(R[B])
+  Boolify,    ///< R[A] = truthy(R[B]) ? 1 : 0
+  Add,        ///< R[A] = R[B] + R[C] (arith ops error on non-integers)
+  Sub,        ///< R[A] = R[B] - R[C]
+  Mul,        ///< R[A] = R[B] * R[C]
+  Div,        ///< R[A] = R[B] / R[C] (error on zero divisor)
+  Mod,        ///< R[A] = R[B] % R[C] (error on zero divisor)
+  Lt,         ///< R[A] = R[B] < R[C]
+  Le,         ///< R[A] = R[B] <= R[C]
+  Gt,         ///< R[A] = R[B] > R[C]
+  Ge,         ///< R[A] = R[B] >= R[C]
+  CmpEq,      ///< R[A] = R[B] equals R[C] (any value kinds)
+  CmpNe,      ///< R[A] = !(R[B] equals R[C])
+  Jmp,        ///< PC = A
+  JmpIfFalse, ///< if (!truthy(R[A])) PC = B (short-circuit plumbing)
+  JmpIfTrue,  ///< if (truthy(R[A])) PC = B
+
+  // Statement operators (each compiled occurrence is Step-flagged).
+  Br,           ///< if (!truthy(R[A])) PC = B — the If/Loop-exit test
+  NewObject,    ///< R[A] = new Classes[B]
+  NewArray,     ///< R[A] = new_array(R[B])
+  NewBarrier,   ///< R[A] = new_barrier(R[B])
+  FieldRead,    ///< R[A] = R[B].field C (volatility compiled into opcode)
+  FieldReadVol, ///< volatile variant: a synchronization op, not an access
+  FieldWrite,   ///< R[A].field C = R[B]
+  FieldWriteVol,
+  ArrayRead,  ///< R[A] = R[B][R[C]]
+  ArrayWrite, ///< R[A][R[B]] = R[C]
+  ArrayLen,   ///< R[A] = len(R[B])
+  Acquire,    ///< acq(R[A]); may block
+  Release,    ///< rel(R[A])
+  Call,       ///< Calls[A]: push a callee frame
+  Fork,       ///< Calls[A]: spawn a thread
+  Join,       ///< join R[A]; may block
+  Await,      ///< await R[A]; may block
+  Check,      ///< check(Checks[A])
+  Print,      ///< print R[A]
+  Assert,     ///< assert truthy(R[A]); error message Msgs[B]
+  Return,     ///< pop the frame (implicit at every body's end)
+};
+
+/// One fixed-size instruction. A/B/C are registers, absolute jump targets,
+/// interned FieldIds, or pool indices depending on the opcode.
+struct Insn {
+  Opcode Op = Opcode::Nop;
+  /// Nonzero when retiring this instruction completes one scheduler step.
+  uint8_t Step = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// Operand record for Call/Fork: argument expressions are pre-flattened
+/// into registers; the method name stays a string because BFJ resolves
+/// calls by the receiver's dynamic class at run time.
+struct CallOperand {
+  uint32_t ReceiverReg = 0; ///< Always a local (receiver is a variable).
+  const std::string *Method = nullptr; ///< Owned by the AST call node.
+  std::vector<uint32_t> ArgRegs;
+  uint32_t TargetReg = kNoReg; ///< kNoReg for discarded results.
+};
+
+/// One compiled body (a method or a top-level thread). Borrows AST nodes
+/// (check statements, class decls, method name strings), so a chunk must
+/// not outlive the Program it was compiled from.
+struct Chunk {
+  std::vector<Insn> Code;
+  std::vector<int64_t> Ints;
+  std::vector<const ClassDecl *> Classes;
+  std::vector<CallOperand> Calls;
+  std::vector<const CheckStmt *> Checks;
+  /// Pre-rendered assertion-failure messages ("assertion failed: <cond>"),
+  /// so the failure path never renders expression syntax at run time.
+  std::vector<std::string> Msgs;
+  /// NumSyms locals plus this body's peak expression-temporary count.
+  uint32_t NumRegs = 0;
+  /// The method this chunk compiles; null for thread bodies.
+  const MethodDecl *Method = nullptr;
+};
+
+/// Every body of one program, compiled. Produced by compileProgram after
+/// Program::internSymbols; borrows the AST like its chunks do.
+struct CompiledProgram {
+  std::vector<std::unique_ptr<Chunk>> Chunks;
+  /// Parallel to Program::Threads.
+  std::vector<const Chunk *> ThreadChunks;
+  std::unordered_map<const MethodDecl *, const Chunk *> MethodChunks;
+
+  const Chunk *chunkFor(const MethodDecl *M) const {
+    auto It = MethodChunks.find(M);
+    return It == MethodChunks.end() ? nullptr : It->second;
+  }
+};
+
+/// The opcode's mnemonic, for disassembly and diagnostics.
+const char *opcodeName(Opcode Op);
+
+/// Renders a chunk one instruction per line ("  12: add r3 r1 r2 !" with
+/// '!' marking Step). Debugging and compiler-test aid.
+std::string disassemble(const Chunk &C);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_VM_BYTECODE_H

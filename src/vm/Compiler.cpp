@@ -1,0 +1,421 @@
+//===- Compiler.cpp - BFJ AST to bytecode lowering --------------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Step-accounting contract (what keeps the bytecode VM schedule-identical
+// to the AST walker):
+//
+//   * every simple statement compiles to a sequence of free expression
+//     instructions followed by exactly one Step-flagged instruction;
+//   * an If compiles its condition free and spends its step on the Br,
+//     matching the walker's "evaluate condition + push branch" step;
+//   * a Loop spends a step on its exit-test Br each time around (taken or
+//     not), while loop entry, the back-edge, and the loop-exit Jmp are
+//     free — matching the walker's free block/phase bookkeeping;
+//   * expression temporaries reset per statement, so register pressure is
+//     each body's deepest expression, not its statement count.
+//
+// One deliberate micro-divergence from the walker: Call/Fork arguments are
+// flattened into registers before the Call instruction runs, so when a
+// method-resolution failure or an arity mismatch coincides with an
+// erroring argument expression, the argument's error wins here while the
+// walker reports the resolution error. Only already-failing programs can
+// observe the difference.
+//
+// The walker also rejects an If appearing directly as another If's branch
+// ("unexpected statement kind"); the parser always normalizes branches to
+// blocks, and the compiler simply supports the nested form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include "bfj/Program.h"
+
+#include <cassert>
+#include <map>
+
+using namespace bigfoot;
+
+namespace {
+
+class BodyCompiler {
+public:
+  BodyCompiler(const Program &Prog, Chunk &C)
+      : Prog(Prog), C(C),
+        NumSyms(static_cast<uint32_t>(Prog.symbols().size())) {}
+
+  void compileBody(const Stmt *Body) {
+    compileStmt(Body);
+    step(emit(Opcode::Return));
+    C.NumRegs = NumSyms + MaxTemps;
+  }
+
+private:
+  const Program &Prog;
+  Chunk &C;
+  uint32_t NumSyms;
+  uint32_t NextTemp = 0;
+  uint32_t MaxTemps = 0;
+  std::map<int64_t, uint32_t> IntIndex;
+  std::map<const ClassDecl *, uint32_t> ClassIndex;
+
+  //===--- Emission helpers ---------------------------------------------------
+
+  size_t emit(Opcode Op, uint32_t A = 0, uint32_t B = 0, uint32_t C3 = 0) {
+    Insn I;
+    I.Op = Op;
+    I.A = A;
+    I.B = B;
+    I.C = C3;
+    C.Code.push_back(I);
+    return C.Code.size() - 1;
+  }
+
+  void step(size_t Idx) { C.Code[Idx].Step = 1; }
+
+  uint32_t here() const { return static_cast<uint32_t>(C.Code.size()); }
+
+  /// Patches the jump target of the branch-family instruction at \p Idx.
+  void patchTo(size_t Idx, uint32_t Target) {
+    Insn &I = C.Code[Idx];
+    if (I.Op == Opcode::Jmp)
+      I.A = Target;
+    else
+      I.B = Target;
+  }
+
+  void resetTemps() { NextTemp = 0; }
+
+  uint32_t newTemp() {
+    uint32_t T = NumSyms + NextTemp++;
+    if (NextTemp > MaxTemps)
+      MaxTemps = NextTemp;
+    return T;
+  }
+
+  uint32_t intIdx(int64_t V) {
+    auto [It, IsNew] = IntIndex.try_emplace(
+        V, static_cast<uint32_t>(C.Ints.size()));
+    if (IsNew)
+      C.Ints.push_back(V);
+    return It->second;
+  }
+
+  uint32_t classIdx(const ClassDecl *Cls) {
+    auto [It, IsNew] = ClassIndex.try_emplace(
+        Cls, static_cast<uint32_t>(C.Classes.size()));
+    if (IsNew)
+      C.Classes.push_back(Cls);
+    return It->second;
+  }
+
+  //===--- Expressions --------------------------------------------------------
+
+  /// Register holding \p E's value: the local itself for variables,
+  /// otherwise a fresh temporary. Evaluation order (left to right, depth
+  /// first) matches the walker, so first-error reports agree.
+  uint32_t exprVal(const Expr *E) {
+    if (const auto *V = dyn_cast<VarRef>(E)) {
+      assert(V->Sym != kNoSym && "program not interned before compile");
+      return V->Sym;
+    }
+    uint32_t T = newTemp();
+    exprInto(E, T);
+    return T;
+  }
+
+  /// Emits code for \p E whose final instruction writes \p Dst — a single
+  /// terminal instruction even for short-circuit operators, so an Assign
+  /// can fuse its scheduler step onto it.
+  void exprInto(const Expr *E, uint32_t Dst) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      emit(Opcode::LoadInt, Dst, intIdx(cast<IntLit>(E)->value()));
+      return;
+    case ExprKind::BoolLit:
+      emit(Opcode::LoadInt, Dst, intIdx(cast<BoolLit>(E)->value() ? 1 : 0));
+      return;
+    case ExprKind::NullLit:
+      emit(Opcode::LoadNull, Dst);
+      return;
+    case ExprKind::VarRef:
+      emit(Opcode::Move, Dst, cast<VarRef>(E)->Sym);
+      return;
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      uint32_t Src = exprVal(U->operand());
+      emit(U->op() == UnaryOp::Not ? Opcode::Not : Opcode::Neg, Dst, Src);
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      if (B->op() == BinaryOp::And || B->op() == BinaryOp::Or) {
+        // Both outcomes converge on one Boolify: after the short-circuit
+        // jump the temp holds whichever operand decided the result, and
+        // truthy(that operand) IS the result in both cases.
+        uint32_t T = newTemp();
+        exprInto(B->lhs(), T);
+        size_t Short = emit(B->op() == BinaryOp::And ? Opcode::JmpIfFalse
+                                                     : Opcode::JmpIfTrue,
+                            T);
+        exprInto(B->rhs(), T);
+        patchTo(Short, here());
+        emit(Opcode::Boolify, Dst, T);
+        return;
+      }
+      uint32_t L = exprVal(B->lhs());
+      uint32_t R = exprVal(B->rhs());
+      Opcode Op;
+      switch (B->op()) {
+      case BinaryOp::Add:
+        Op = Opcode::Add;
+        break;
+      case BinaryOp::Sub:
+        Op = Opcode::Sub;
+        break;
+      case BinaryOp::Mul:
+        Op = Opcode::Mul;
+        break;
+      case BinaryOp::Div:
+        Op = Opcode::Div;
+        break;
+      case BinaryOp::Mod:
+        Op = Opcode::Mod;
+        break;
+      case BinaryOp::Lt:
+        Op = Opcode::Lt;
+        break;
+      case BinaryOp::Le:
+        Op = Opcode::Le;
+        break;
+      case BinaryOp::Gt:
+        Op = Opcode::Gt;
+        break;
+      case BinaryOp::Ge:
+        Op = Opcode::Ge;
+        break;
+      case BinaryOp::Eq:
+        Op = Opcode::CmpEq;
+        break;
+      case BinaryOp::Ne:
+        Op = Opcode::CmpNe;
+        break;
+      default:
+        Op = Opcode::Nop;
+        assert(false && "logical ops handled above");
+        break;
+      }
+      emit(Op, Dst, L, R);
+      return;
+    }
+    }
+  }
+
+  //===--- Statements ---------------------------------------------------------
+
+  std::vector<uint32_t>
+  argRegs(const std::vector<std::unique_ptr<Expr>> &Args) {
+    std::vector<uint32_t> Regs;
+    Regs.reserve(Args.size());
+    for (const auto &A : Args)
+      Regs.push_back(exprVal(A.get()));
+    return Regs;
+  }
+
+  uint32_t callIdx(SymId Receiver, const std::string &Method,
+                   const std::vector<std::unique_ptr<Expr>> &Args,
+                   SymId Target) {
+    CallOperand Op;
+    Op.ReceiverReg = Receiver;
+    Op.Method = &Method;
+    Op.ArgRegs = argRegs(Args);
+    Op.TargetReg = Target; // kNoSym and kNoReg coincide.
+    C.Calls.push_back(std::move(Op));
+    return static_cast<uint32_t>(C.Calls.size() - 1);
+  }
+
+  void compileStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Block:
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+        compileStmt(Child.get());
+      return;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      resetTemps();
+      uint32_t Cond = exprVal(If->cond());
+      size_t Else = emit(Opcode::Br, Cond);
+      step(Else);
+      compileStmt(If->thenStmt());
+      size_t End = emit(Opcode::Jmp);
+      patchTo(Else, here());
+      compileStmt(If->elseStmt());
+      patchTo(End, here());
+      return;
+    }
+    case StmtKind::Loop: {
+      const auto *Loop = cast<LoopStmt>(S);
+      uint32_t Head = here();
+      compileStmt(Loop->preBody());
+      resetTemps();
+      uint32_t Exit = exprVal(Loop->exitCond());
+      size_t Post = emit(Opcode::Br, Exit); // !exit → post-body
+      step(Post);
+      size_t End = emit(Opcode::Jmp); // exit taken → leave the loop
+      patchTo(Post, here());
+      compileStmt(Loop->postBody());
+      size_t Back = emit(Opcode::Jmp);
+      patchTo(Back, Head);
+      patchTo(End, here());
+      return;
+    }
+    case StmtKind::Skip:
+      step(emit(Opcode::Nop));
+      return;
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      resetTemps();
+      exprInto(A->value(), A->TargetSym);
+      C.Code.back().Step = 1; // exprInto's terminal writes the target.
+      return;
+    }
+    case StmtKind::Rename: {
+      const auto *Ren = cast<RenameStmt>(S);
+      step(emit(Opcode::Move, Ren->TargetSym, Ren->SourceSym));
+      return;
+    }
+    case StmtKind::New: {
+      const auto *N = cast<NewStmt>(S);
+      step(emit(Opcode::NewObject, N->TargetSym, classIdx(N->ClassCache)));
+      return;
+    }
+    case StmtKind::NewArray: {
+      const auto *N = cast<NewArrayStmt>(S);
+      resetTemps();
+      uint32_t Size = exprVal(N->size());
+      step(emit(Opcode::NewArray, N->TargetSym, Size));
+      return;
+    }
+    case StmtKind::NewBarrier: {
+      const auto *N = cast<NewBarrierStmt>(S);
+      resetTemps();
+      uint32_t Parties = exprVal(N->parties());
+      step(emit(Opcode::NewBarrier, N->TargetSym, Parties));
+      return;
+    }
+    case StmtKind::FieldRead: {
+      const auto *Rd = cast<FieldReadStmt>(S);
+      step(emit(Prog.isFieldVolatileById(Rd->FieldSym)
+                    ? Opcode::FieldReadVol
+                    : Opcode::FieldRead,
+                Rd->TargetSym, Rd->ObjectSym, Rd->FieldSym));
+      return;
+    }
+    case StmtKind::FieldWrite: {
+      const auto *Wr = cast<FieldWriteStmt>(S);
+      resetTemps();
+      uint32_t V = exprVal(Wr->value());
+      step(emit(Prog.isFieldVolatileById(Wr->FieldSym)
+                    ? Opcode::FieldWriteVol
+                    : Opcode::FieldWrite,
+                Wr->ObjectSym, V, Wr->FieldSym));
+      return;
+    }
+    case StmtKind::ArrayRead: {
+      const auto *Rd = cast<ArrayReadStmt>(S);
+      resetTemps();
+      uint32_t Idx = exprVal(Rd->index());
+      step(emit(Opcode::ArrayRead, Rd->TargetSym, Rd->ArraySym, Idx));
+      return;
+    }
+    case StmtKind::ArrayWrite: {
+      const auto *Wr = cast<ArrayWriteStmt>(S);
+      resetTemps();
+      uint32_t Idx = exprVal(Wr->index());
+      uint32_t V = exprVal(Wr->value());
+      step(emit(Opcode::ArrayWrite, Wr->ArraySym, Idx, V));
+      return;
+    }
+    case StmtKind::ArrayLen: {
+      const auto *L = cast<ArrayLenStmt>(S);
+      step(emit(Opcode::ArrayLen, L->TargetSym, L->ArraySym));
+      return;
+    }
+    case StmtKind::Acquire:
+      step(emit(Opcode::Acquire, cast<AcquireStmt>(S)->LockSym));
+      return;
+    case StmtKind::Release:
+      step(emit(Opcode::Release, cast<ReleaseStmt>(S)->LockSym));
+      return;
+    case StmtKind::Call: {
+      const auto *Call = cast<CallStmt>(S);
+      resetTemps();
+      step(emit(Opcode::Call, callIdx(Call->ReceiverSym, Call->method(),
+                                      Call->args(), Call->TargetSym)));
+      return;
+    }
+    case StmtKind::Fork: {
+      const auto *Fork = cast<ForkStmt>(S);
+      resetTemps();
+      step(emit(Opcode::Fork, callIdx(Fork->ReceiverSym, Fork->method(),
+                                      Fork->args(), Fork->TargetSym)));
+      return;
+    }
+    case StmtKind::Join:
+      step(emit(Opcode::Join, cast<JoinStmt>(S)->HandleSym));
+      return;
+    case StmtKind::Await:
+      step(emit(Opcode::Await, cast<AwaitStmt>(S)->BarrierSym));
+      return;
+    case StmtKind::Check: {
+      C.Checks.push_back(cast<CheckStmt>(S));
+      step(emit(Opcode::Check, static_cast<uint32_t>(C.Checks.size() - 1)));
+      return;
+    }
+    case StmtKind::Print: {
+      const auto *P = cast<PrintStmt>(S);
+      resetTemps();
+      uint32_t V = exprVal(P->value());
+      step(emit(Opcode::Print, V));
+      return;
+    }
+    case StmtKind::AssertStmt: {
+      const auto *A = cast<AssertStmtNode>(S);
+      resetTemps();
+      uint32_t Cond = exprVal(A->cond());
+      C.Msgs.push_back("assertion failed: " + A->cond()->str());
+      step(emit(Opcode::Assert, Cond,
+                static_cast<uint32_t>(C.Msgs.size() - 1)));
+      return;
+    }
+    }
+    assert(false && "unhandled statement kind");
+  }
+};
+
+std::unique_ptr<Chunk> compileBody(const Program &Prog, const Stmt *Body,
+                                   const MethodDecl *M) {
+  auto C = std::make_unique<Chunk>();
+  C->Method = M;
+  BodyCompiler(Prog, *C).compileBody(Body);
+  return C;
+}
+
+} // namespace
+
+CompiledProgram bigfoot::compileProgram(const Program &Prog) {
+  CompiledProgram CP;
+  for (const auto &Cls : Prog.Classes)
+    for (const auto &M : Cls->Methods) {
+      CP.Chunks.push_back(compileBody(Prog, M->Body.get(), M.get()));
+      CP.MethodChunks.emplace(M.get(), CP.Chunks.back().get());
+    }
+  for (const StmtPtr &Body : Prog.Threads) {
+    CP.Chunks.push_back(compileBody(Prog, Body.get(), nullptr));
+    CP.ThreadChunks.push_back(CP.Chunks.back().get());
+  }
+  return CP;
+}

@@ -1,0 +1,34 @@
+//===- Compiler.h - BFJ AST to bytecode lowering ----------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers every method and thread body of an interned Program into flat
+/// register bytecode (Bytecode.h). The compiler is the last stage of the
+/// pipeline parse → instrument → internSymbols → compile → execute: it
+/// consumes the interned sym caches (locals become registers directly,
+/// field operands carry FieldIds, check paths their compiled affine
+/// bounds) and resolves field volatility into distinct opcodes, so the
+/// execution loop never consults the AST or the class table for accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_VM_COMPILER_H
+#define BIGFOOT_VM_COMPILER_H
+
+#include "vm/Bytecode.h"
+
+namespace bigfoot {
+
+class Program;
+
+/// Compiles all bodies of \p Prog, which must already be interned
+/// (Program::ensureInterned). The result borrows AST nodes and must not
+/// outlive \p Prog.
+CompiledProgram compileProgram(const Program &Prog);
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_VM_COMPILER_H

@@ -11,11 +11,22 @@
 // error messages, print output, and the event trace (which is gated on
 // VmOptions::RecordEventTrace before any rendering happens).
 //
+// Two execution modes share one scheduler and one set of effect helpers:
+// the default compiles each body to flat register bytecode (Compiler.h)
+// and drives a dense switch-on-opcode loop; the original AST walker stays
+// behind VmOptions::UseBytecode=false as the differential reference. All
+// heap, synchronization, and detector effects live in the do* helpers
+// both modes call, so results and schedules agree by construction; the
+// remaining mode-specific code is pure dispatch. Scheduler steps are the
+// same in both modes — the compiler encodes the walker's step accounting
+// in per-instruction Step flags (see Compiler.cpp).
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/Vm.h"
 
 #include "support/LocKey.h"
+#include "vm/Compiler.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -85,9 +96,9 @@ struct BarrierRec {
 // Threads and continuations.
 //===----------------------------------------------------------------------===
 
-/// One resumable position inside a statement tree. Blocks track the next
-/// child; loops track their phase (0 = start pre-body, 1 = exit test,
-/// 2 = post-body finished, go around).
+/// One resumable position inside a statement tree (AST mode). Blocks track
+/// the next child; loops track their phase (0 = start pre-body, 1 = exit
+/// test, 2 = post-body finished, go around).
 struct Task {
   const Stmt *S = nullptr;
   size_t Index = 0;
@@ -97,11 +108,16 @@ struct Task {
 struct Frame {
   /// Indexed by SymId over the program's whole symbol table; every local
   /// starts as integer 0 (BFJ has no declarations, uninitialized locals
-  /// read as 0).
+  /// read as 0). In bytecode mode the vector extends past NumSyms with the
+  /// chunk's expression temporaries.
   std::vector<Value> Locals;
   const MethodDecl *Method = nullptr;
   SymId ReturnTargetSym = kNoSym;
+  /// AST mode: the resumable statement stack.
   std::vector<Task> Tasks;
+  /// Bytecode mode: the compiled body and the resume position.
+  const Chunk *Ch = nullptr;
+  uint32_t PC = 0;
 };
 
 struct ThreadCtx {
@@ -132,6 +148,8 @@ public:
     NumSyms = Syms->size();
     GSym = *Syms->lookup("$g");
     ThisSym = *Syms->lookup("this");
+    if (Opts.UseBytecode)
+      CP = compileProgram(Prog);
     if (ToolCfg)
       Tool = std::make_unique<RaceDetector>(*ToolCfg, Result.Counters, Syms);
     if (Opts.EnableGroundTruth)
@@ -143,6 +161,7 @@ public:
     schedule();
     Result.Ok = Error.empty();
     Result.Error = Error;
+    Result.StatementsExecuted = Steps;
     if (Tool) {
       Tool->sampleMemoryNow();
       Result.ToolRaces = Tool->races();
@@ -168,6 +187,7 @@ private:
   size_t NumSyms = 0;
   SymId GSym = kNoSym;
   SymId ThisSym = kNoSym;
+  CompiledProgram CP;
 
   std::unordered_map<ObjectId, HeapObject> Objects;
   std::unordered_map<ObjectId, HeapArray> Arrays;
@@ -221,15 +241,25 @@ private:
     return F;
   }
 
+  Frame makeBcFrame(const Chunk *Ch) {
+    assert(Ch && "method has no compiled chunk");
+    Frame F;
+    F.Locals.resize(Ch->NumRegs);
+    F.Ch = Ch;
+    return F;
+  }
+
   void setup() {
     GlobalObj = NextId++;
     Objects.emplace(GlobalObj, HeapObject());
-    for (const StmtPtr &Body : Prog.Threads) {
+    for (size_t I = 0; I < Prog.Threads.size(); ++I) {
       auto T = std::make_unique<ThreadCtx>();
       T->Tid = static_cast<ThreadId>(Threads.size());
-      Frame F = makeFrame();
+      Frame F = Opts.UseBytecode ? makeBcFrame(CP.ThreadChunks[I])
+                                 : makeFrame();
       F.Locals[GSym] = Value::refV(GlobalObj);
-      F.Tasks.push_back(Task{Body.get(), 0, 0});
+      if (!Opts.UseBytecode)
+        F.Tasks.push_back(Task{Prog.Threads[I].get(), 0, 0});
       T->Frames.push_back(std::move(F));
       Threads.push_back(std::move(T));
     }
@@ -238,6 +268,7 @@ private:
   //===--- Scheduler -----------------------------------------------------------
 
   void schedule() {
+    const bool UseBc = Opts.UseBytecode;
     size_t Cursor = 0;
     while (Error.empty()) {
       bool AnyAlive = false;
@@ -253,7 +284,7 @@ private:
         for (unsigned I = 0; I < Quantum && Error.empty(); ++I) {
           if (T.Finished)
             break;
-          if (step(T) == StepResult::Blocked)
+          if ((UseBc ? stepBc(T) : step(T)) == StepResult::Blocked)
             break;
           AnyProgress = true;
           if (Opts.CommitIntervalSteps && Tool &&
@@ -276,7 +307,7 @@ private:
     }
   }
 
-  //===--- Stepping -------------------------------------------------------------
+  //===--- AST-walker stepping -------------------------------------------------
 
   StepResult step(ThreadCtx &T) {
     // Bounded inner loop so control bookkeeping (popping finished blocks)
@@ -382,7 +413,7 @@ private:
       T.Frames.back().Locals[Target] = Ret;
   }
 
-  //===--- Expression evaluation -------------------------------------------------
+  //===--- Expression evaluation (AST mode) -------------------------------------
 
   Value &local(Frame &F, SymId Sym) {
     assert(Sym != kNoSym && Sym < F.Locals.size() && "unresolved symbol");
@@ -516,11 +547,271 @@ private:
     Obj.Fields[Field] = V;
   }
 
-  //===--- Statement execution -------------------------------------------------------
+  //===--- Statement effects (shared by both execution modes) -------------------
+  //
+  // Everything observable — heap mutation, counters, detector events, the
+  // event trace, error wording and ordering — happens in these helpers, so
+  // the AST walker and the bytecode loop cannot drift apart.
+
+  void doNew(ThreadCtx &T, SymId Target, const ClassDecl *Cls) {
+    HeapObject Obj;
+    Obj.Cls = Cls;
+    ObjectId Id = NextId++;
+    Objects.emplace(Id, std::move(Obj));
+    VmHeapBytesC.bump(64);
+    local(T.Frames.back(), Target) = Value::refV(Id);
+  }
+
+  void doNewArray(ThreadCtx &T, SymId Target, Value Size) {
+    if (Size.K != Value::Kind::Int || Size.I < 0) {
+      setError("invalid array size");
+      return;
+    }
+    HeapArray Arr;
+    Arr.Elems.assign(static_cast<size_t>(Size.I), Value::intV(0));
+    ObjectId Id = NextId++;
+    Arrays.emplace(Id, std::move(Arr));
+    VmHeapBytesC.bump(32 + static_cast<uint64_t>(Size.I) * 16);
+    if (Tool)
+      Tool->onArrayAlloc(Id, Size.I);
+    if (Gt)
+      Gt->onArrayAlloc(Id, Size.I);
+    local(T.Frames.back(), Target) = Value::refV(Id);
+  }
+
+  void doNewBarrier(ThreadCtx &T, SymId Target, Value Parties) {
+    if (Parties.K != Value::Kind::Int || Parties.I < 1) {
+      setError("invalid barrier party count");
+      return;
+    }
+    BarrierRec B;
+    B.Parties = Parties.I;
+    ObjectId Id = NextId++;
+    Barriers.emplace(Id, std::move(B));
+    local(T.Frames.back(), Target) = Value::refV(Id);
+  }
+
+  void doFieldRead(ThreadCtx &T, SymId Target, SymId Object, FieldId Field,
+                   bool Volatile, const std::string &FieldName) {
+    Frame &F = T.Frames.back();
+    ObjectId Id = 0;
+    HeapObject *Obj = objectOf(F, Object, &Id);
+    if (!Obj)
+      return;
+    if (Volatile) {
+      VmSyncOpsC.bump();
+      traceSync(T.Tid, TraceEvent::Kind::Acquire);
+      if (Tool)
+        Tool->onVolatileRead(T.Tid, Id, Field);
+      if (Gt)
+        Gt->onVolatileRead(T.Tid, Id, Field);
+    } else {
+      VmAccessesC.bump();
+      VmAccessesFieldC.bump();
+      if (Opts.RecordEventTrace)
+        traceLoc(T.Tid, TraceEvent::Kind::Access,
+                 lockey::objField(Id, FieldName), AccessKind::Read);
+      if (Gt)
+        Gt->checkFields(T.Tid, Id, &Field, 1, AccessKind::Read);
+    }
+    local(F, Target) = fieldValue(*Obj, Field);
+  }
+
+  void doFieldWrite(ThreadCtx &T, SymId Object, FieldId Field, Value V,
+                    bool Volatile, const std::string &FieldName) {
+    Frame &F = T.Frames.back();
+    ObjectId Id = 0;
+    HeapObject *Obj = objectOf(F, Object, &Id);
+    if (!Obj)
+      return;
+    if (Volatile) {
+      VmSyncOpsC.bump();
+      traceSync(T.Tid, TraceEvent::Kind::Release);
+      if (Tool)
+        Tool->onVolatileWrite(T.Tid, Id, Field);
+      if (Gt)
+        Gt->onVolatileWrite(T.Tid, Id, Field);
+    } else {
+      VmAccessesC.bump();
+      VmAccessesFieldC.bump();
+      if (Opts.RecordEventTrace)
+        traceLoc(T.Tid, TraceEvent::Kind::Access,
+                 lockey::objField(Id, FieldName), AccessKind::Write);
+      if (Gt)
+        Gt->checkFields(T.Tid, Id, &Field, 1, AccessKind::Write);
+    }
+    setField(*Obj, Field, V);
+  }
+
+  void doArrayRead(ThreadCtx &T, SymId Target, SymId Array, Value Idx) {
+    Frame &F = T.Frames.back();
+    ObjectId Id = 0;
+    HeapArray *Arr = arrayOf(F, Array, &Id);
+    if (!Arr)
+      return;
+    if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
+        Idx.I >= static_cast<int64_t>(Arr->Elems.size())) {
+      setError("array index out of bounds: " + Idx.str());
+      return;
+    }
+    VmAccessesC.bump();
+    VmAccessesArrayC.bump();
+    if (Opts.RecordEventTrace)
+      traceLoc(T.Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
+               AccessKind::Read);
+    if (Gt)
+      Gt->checkArrayRange(T.Tid, Id, StridedRange::singleton(Idx.I),
+                          AccessKind::Read);
+    local(F, Target) = Arr->Elems[static_cast<size_t>(Idx.I)];
+  }
+
+  void doArrayWrite(ThreadCtx &T, SymId Array, Value Idx, Value V) {
+    Frame &F = T.Frames.back();
+    ObjectId Id = 0;
+    HeapArray *Arr = arrayOf(F, Array, &Id);
+    if (!Arr)
+      return;
+    if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
+        Idx.I >= static_cast<int64_t>(Arr->Elems.size())) {
+      setError("array index out of bounds: " + Idx.str());
+      return;
+    }
+    VmAccessesC.bump();
+    VmAccessesArrayC.bump();
+    if (Opts.RecordEventTrace)
+      traceLoc(T.Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
+               AccessKind::Write);
+    if (Gt)
+      Gt->checkArrayRange(T.Tid, Id, StridedRange::singleton(Idx.I),
+                          AccessKind::Write);
+    Arr->Elems[static_cast<size_t>(Idx.I)] = V;
+  }
+
+  void doArrayLen(ThreadCtx &T, SymId Target, SymId Array) {
+    Frame &F = T.Frames.back();
+    HeapArray *Arr = arrayOf(F, Array, nullptr);
+    if (!Arr)
+      return;
+    local(F, Target) = Value::intV(static_cast<int64_t>(Arr->Elems.size()));
+  }
+
+  StepResult doAcquire(ThreadCtx &T, SymId Lock) {
+    ObjectId Id = 0;
+    HeapObject *Obj = objectOf(T.Frames.back(), Lock, &Id);
+    if (!Obj)
+      return StepResult::Progress;
+    if (Obj->LockOwner == static_cast<int32_t>(T.Tid)) {
+      ++Obj->LockDepth; // Reentrant.
+      return StepResult::Progress;
+    }
+    if (Obj->LockOwner != -1)
+      return StepResult::Blocked;
+    Obj->LockOwner = static_cast<int32_t>(T.Tid);
+    Obj->LockDepth = 1;
+    VmSyncOpsC.bump();
+    traceSync(T.Tid, TraceEvent::Kind::Acquire);
+    if (Tool)
+      Tool->onAcquire(T.Tid, Id);
+    if (Gt)
+      Gt->onAcquire(T.Tid, Id);
+    return StepResult::Progress;
+  }
+
+  void doRelease(ThreadCtx &T, SymId Lock) {
+    ObjectId Id = 0;
+    HeapObject *Obj = objectOf(T.Frames.back(), Lock, &Id);
+    if (!Obj)
+      return;
+    if (Obj->LockOwner != static_cast<int32_t>(T.Tid)) {
+      setError("release of a lock the thread does not hold");
+      return;
+    }
+    if (--Obj->LockDepth > 0)
+      return;
+    Obj->LockOwner = -1;
+    VmSyncOpsC.bump();
+    traceSync(T.Tid, TraceEvent::Kind::Release);
+    if (Tool)
+      Tool->onRelease(T.Tid, Id);
+    if (Gt)
+      Gt->onRelease(T.Tid, Id);
+  }
+
+  StepResult doJoin(ThreadCtx &T, SymId Handle) {
+    Value H = local(T.Frames.back(), Handle);
+    if (H.K != Value::Kind::Int || H.I < 0 ||
+        H.I >= static_cast<int64_t>(Threads.size())) {
+      setError("join on an invalid thread handle");
+      return StepResult::Progress;
+    }
+    ThreadCtx &Joined = *Threads[static_cast<size_t>(H.I)];
+    if (!Joined.Finished)
+      return StepResult::Blocked;
+    VmSyncOpsC.bump();
+    traceSync(T.Tid, TraceEvent::Kind::Acquire);
+    if (Tool)
+      Tool->onJoin(T.Tid, Joined.Tid);
+    if (Gt)
+      Gt->onJoin(T.Tid, Joined.Tid);
+    return StepResult::Progress;
+  }
+
+  StepResult doAwait(ThreadCtx &T, SymId Barrier) {
+    Value BV = local(T.Frames.back(), Barrier);
+    auto It = BV.K == Value::Kind::Ref
+                  ? Barriers.find(static_cast<ObjectId>(BV.I))
+                  : Barriers.end();
+    if (It == Barriers.end()) {
+      setError("await on a non-barrier");
+      return StepResult::Progress;
+    }
+    BarrierRec &B = It->second;
+    if (!T.InBarrier) {
+      T.InBarrier = true;
+      T.WaitGen = B.Generation;
+      traceSync(T.Tid, TraceEvent::Kind::Release);
+      B.Arrived.push_back(T.Tid);
+      if (static_cast<int64_t>(B.Arrived.size()) == B.Parties) {
+        VmSyncOpsC.bump();
+        if (Tool)
+          Tool->onBarrier(B.Arrived);
+        if (Gt)
+          Gt->onBarrier(B.Arrived);
+        B.Arrived.clear();
+        ++B.Generation;
+      }
+    }
+    if (B.Generation != T.WaitGen) {
+      T.InBarrier = false;
+      traceSync(T.Tid, TraceEvent::Kind::Acquire);
+      return StepResult::Progress;
+    }
+    return StepResult::Blocked;
+  }
+
+  /// Thread-spawn tail shared by both fork paths: registers the child,
+  /// emits the release-edge events, and stores the handle.
+  void finishFork(ThreadCtx &T, Frame CF, SymId TargetSym) {
+    auto Child = std::make_unique<ThreadCtx>();
+    Child->Tid = static_cast<ThreadId>(Threads.size());
+    Child->Frames.push_back(std::move(CF));
+    ThreadId ChildTid = Child->Tid;
+    Threads.push_back(std::move(Child));
+    VmSyncOpsC.bump();
+    traceSync(T.Tid, TraceEvent::Kind::Release);
+    if (Tool)
+      Tool->onFork(T.Tid, ChildTid);
+    if (Gt)
+      Gt->onFork(T.Tid, ChildTid);
+    if (TargetSym != kNoSym)
+      local(T.Frames.back(), TargetSym) =
+          Value::intV(static_cast<int64_t>(ChildTid));
+  }
+
+  //===--- AST-walker statement execution ---------------------------------------
 
   StepResult execSimple(ThreadCtx &T, const Stmt *S) {
     Frame &F = T.Frames.back();
-    ThreadId Tid = T.Tid;
     switch (S->kind()) {
     case StmtKind::Skip:
       return StepResult::Progress;
@@ -536,197 +827,54 @@ private:
     }
     case StmtKind::New: {
       const auto *N = cast<NewStmt>(S);
-      HeapObject Obj;
-      Obj.Cls = N->ClassCache;
-      ObjectId Id = NextId++;
-      Objects.emplace(Id, std::move(Obj));
-      VmHeapBytesC.bump(64);
-      local(F, N->TargetSym) = Value::refV(Id);
+      doNew(T, N->TargetSym, N->ClassCache);
       return StepResult::Progress;
     }
     case StmtKind::NewArray: {
       const auto *N = cast<NewArrayStmt>(S);
-      Value Size = eval(F, N->size());
-      if (Size.K != Value::Kind::Int || Size.I < 0) {
-        setError("invalid array size");
-        return StepResult::Progress;
-      }
-      HeapArray Arr;
-      Arr.Elems.assign(static_cast<size_t>(Size.I), Value::intV(0));
-      ObjectId Id = NextId++;
-      Arrays.emplace(Id, std::move(Arr));
-      VmHeapBytesC.bump(32 + static_cast<uint64_t>(Size.I) * 16);
-      if (Tool)
-        Tool->onArrayAlloc(Id, Size.I);
-      if (Gt)
-        Gt->onArrayAlloc(Id, Size.I);
-      local(F, N->TargetSym) = Value::refV(Id);
+      doNewArray(T, N->TargetSym, eval(F, N->size()));
       return StepResult::Progress;
     }
     case StmtKind::NewBarrier: {
       const auto *N = cast<NewBarrierStmt>(S);
-      Value Parties = eval(F, N->parties());
-      if (Parties.K != Value::Kind::Int || Parties.I < 1) {
-        setError("invalid barrier party count");
-        return StepResult::Progress;
-      }
-      BarrierRec B;
-      B.Parties = Parties.I;
-      ObjectId Id = NextId++;
-      Barriers.emplace(Id, std::move(B));
-      local(F, N->TargetSym) = Value::refV(Id);
+      doNewBarrier(T, N->TargetSym, eval(F, N->parties()));
       return StepResult::Progress;
     }
     case StmtKind::FieldRead: {
       const auto *Rd = cast<FieldReadStmt>(S);
-      ObjectId Id = 0;
-      HeapObject *Obj = objectOf(F, Rd->ObjectSym, &Id);
-      if (!Obj)
-        return StepResult::Progress;
-      if (Prog.isFieldVolatileById(Rd->FieldSym)) {
-        VmSyncOpsC.bump();
-        traceSync(Tid, TraceEvent::Kind::Acquire);
-        if (Tool)
-          Tool->onVolatileRead(Tid, Id, Rd->FieldSym);
-        if (Gt)
-          Gt->onVolatileRead(Tid, Id, Rd->FieldSym);
-      } else {
-        VmAccessesC.bump();
-        VmAccessesFieldC.bump();
-        if (Opts.RecordEventTrace)
-          traceLoc(Tid, TraceEvent::Kind::Access,
-                   lockey::objField(Id, Rd->field()), AccessKind::Read);
-        if (Gt)
-          Gt->checkFields(Tid, Id, &Rd->FieldSym, 1, AccessKind::Read);
-      }
-      local(F, Rd->TargetSym) = fieldValue(*Obj, Rd->FieldSym);
+      doFieldRead(T, Rd->TargetSym, Rd->ObjectSym, Rd->FieldSym,
+                  Prog.isFieldVolatileById(Rd->FieldSym), Rd->field());
       return StepResult::Progress;
     }
     case StmtKind::FieldWrite: {
       const auto *Wr = cast<FieldWriteStmt>(S);
       Value V = eval(F, Wr->value());
-      ObjectId Id = 0;
-      HeapObject *Obj = objectOf(F, Wr->ObjectSym, &Id);
-      if (!Obj)
-        return StepResult::Progress;
-      if (Prog.isFieldVolatileById(Wr->FieldSym)) {
-        VmSyncOpsC.bump();
-        traceSync(Tid, TraceEvent::Kind::Release);
-        if (Tool)
-          Tool->onVolatileWrite(Tid, Id, Wr->FieldSym);
-        if (Gt)
-          Gt->onVolatileWrite(Tid, Id, Wr->FieldSym);
-      } else {
-        VmAccessesC.bump();
-        VmAccessesFieldC.bump();
-        if (Opts.RecordEventTrace)
-          traceLoc(Tid, TraceEvent::Kind::Access,
-                   lockey::objField(Id, Wr->field()), AccessKind::Write);
-        if (Gt)
-          Gt->checkFields(Tid, Id, &Wr->FieldSym, 1, AccessKind::Write);
-      }
-      setField(*Obj, Wr->FieldSym, V);
+      doFieldWrite(T, Wr->ObjectSym, Wr->FieldSym, V,
+                   Prog.isFieldVolatileById(Wr->FieldSym), Wr->field());
       return StepResult::Progress;
     }
     case StmtKind::ArrayRead: {
       const auto *Rd = cast<ArrayReadStmt>(S);
-      Value Idx = eval(F, Rd->index());
-      ObjectId Id = 0;
-      HeapArray *Arr = arrayOf(F, Rd->ArraySym, &Id);
-      if (!Arr)
-        return StepResult::Progress;
-      if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
-          Idx.I >= static_cast<int64_t>(Arr->Elems.size())) {
-        setError("array index out of bounds: " + Idx.str());
-        return StepResult::Progress;
-      }
-      VmAccessesC.bump();
-      VmAccessesArrayC.bump();
-      if (Opts.RecordEventTrace)
-        traceLoc(Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
-                 AccessKind::Read);
-      if (Gt)
-        Gt->checkArrayRange(Tid, Id, StridedRange::singleton(Idx.I),
-                            AccessKind::Read);
-      local(F, Rd->TargetSym) = Arr->Elems[static_cast<size_t>(Idx.I)];
+      doArrayRead(T, Rd->TargetSym, Rd->ArraySym, eval(F, Rd->index()));
       return StepResult::Progress;
     }
     case StmtKind::ArrayWrite: {
       const auto *Wr = cast<ArrayWriteStmt>(S);
       Value Idx = eval(F, Wr->index());
       Value V = eval(F, Wr->value());
-      ObjectId Id = 0;
-      HeapArray *Arr = arrayOf(F, Wr->ArraySym, &Id);
-      if (!Arr)
-        return StepResult::Progress;
-      if (Idx.K != Value::Kind::Int || Idx.I < 0 ||
-          Idx.I >= static_cast<int64_t>(Arr->Elems.size())) {
-        setError("array index out of bounds: " + Idx.str());
-        return StepResult::Progress;
-      }
-      VmAccessesC.bump();
-      VmAccessesArrayC.bump();
-      if (Opts.RecordEventTrace)
-        traceLoc(Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
-                 AccessKind::Write);
-      if (Gt)
-        Gt->checkArrayRange(Tid, Id, StridedRange::singleton(Idx.I),
-                            AccessKind::Write);
-      Arr->Elems[static_cast<size_t>(Idx.I)] = V;
+      doArrayWrite(T, Wr->ArraySym, Idx, V);
       return StepResult::Progress;
     }
     case StmtKind::ArrayLen: {
       const auto *L = cast<ArrayLenStmt>(S);
-      HeapArray *Arr = arrayOf(F, L->ArraySym, nullptr);
-      if (!Arr)
-        return StepResult::Progress;
-      local(F, L->TargetSym) =
-          Value::intV(static_cast<int64_t>(Arr->Elems.size()));
+      doArrayLen(T, L->TargetSym, L->ArraySym);
       return StepResult::Progress;
     }
-    case StmtKind::Acquire: {
-      const auto *Acq = cast<AcquireStmt>(S);
-      ObjectId Id = 0;
-      HeapObject *Obj = objectOf(F, Acq->LockSym, &Id);
-      if (!Obj)
-        return StepResult::Progress;
-      if (Obj->LockOwner == static_cast<int32_t>(Tid)) {
-        ++Obj->LockDepth; // Reentrant.
-        return StepResult::Progress;
-      }
-      if (Obj->LockOwner != -1)
-        return StepResult::Blocked;
-      Obj->LockOwner = static_cast<int32_t>(Tid);
-      Obj->LockDepth = 1;
-      VmSyncOpsC.bump();
-      traceSync(Tid, TraceEvent::Kind::Acquire);
-      if (Tool)
-        Tool->onAcquire(Tid, Id);
-      if (Gt)
-        Gt->onAcquire(Tid, Id);
+    case StmtKind::Acquire:
+      return doAcquire(T, cast<AcquireStmt>(S)->LockSym);
+    case StmtKind::Release:
+      doRelease(T, cast<ReleaseStmt>(S)->LockSym);
       return StepResult::Progress;
-    }
-    case StmtKind::Release: {
-      const auto *Rel = cast<ReleaseStmt>(S);
-      ObjectId Id = 0;
-      HeapObject *Obj = objectOf(F, Rel->LockSym, &Id);
-      if (!Obj)
-        return StepResult::Progress;
-      if (Obj->LockOwner != static_cast<int32_t>(Tid)) {
-        setError("release of a lock the thread does not hold");
-        return StepResult::Progress;
-      }
-      if (--Obj->LockDepth > 0)
-        return StepResult::Progress;
-      Obj->LockOwner = -1;
-      VmSyncOpsC.bump();
-      traceSync(Tid, TraceEvent::Kind::Release);
-      if (Tool)
-        Tool->onRelease(Tid, Id);
-      if (Gt)
-        Gt->onRelease(Tid, Id);
-      return StepResult::Progress;
-    }
     case StmtKind::Call: {
       const auto *C = cast<CallStmt>(S);
       pushCall(T, C->ReceiverSym, C->method(), C->args(), C->TargetSym);
@@ -739,80 +887,19 @@ private:
                                           Fork->method());
       if (!M)
         return StepResult::Progress;
-      auto Child = std::make_unique<ThreadCtx>();
-      Child->Tid = static_cast<ThreadId>(Threads.size());
       Frame CF = makeFrame();
       CF.Method = M;
       CF.Locals[GSym] = Value::refV(GlobalObj);
       CF.Locals[ThisSym] = Recv;
       bindArgs(F, CF, M, Fork->args());
       CF.Tasks.push_back(Task{M->Body.get(), 0, 0});
-      Child->Frames.push_back(std::move(CF));
-      ThreadId ChildTid = Child->Tid;
-      Threads.push_back(std::move(Child));
-      VmSyncOpsC.bump();
-      traceSync(Tid, TraceEvent::Kind::Release);
-      if (Tool)
-        Tool->onFork(Tid, ChildTid);
-      if (Gt)
-        Gt->onFork(Tid, ChildTid);
-      if (Fork->TargetSym != kNoSym)
-        local(T.Frames.back(), Fork->TargetSym) =
-            Value::intV(static_cast<int64_t>(ChildTid));
+      finishFork(T, std::move(CF), Fork->TargetSym);
       return StepResult::Progress;
     }
-    case StmtKind::Join: {
-      const auto *J = cast<JoinStmt>(S);
-      Value H = local(F, J->HandleSym);
-      if (H.K != Value::Kind::Int || H.I < 0 ||
-          H.I >= static_cast<int64_t>(Threads.size())) {
-        setError("join on an invalid thread handle");
-        return StepResult::Progress;
-      }
-      ThreadCtx &Joined = *Threads[static_cast<size_t>(H.I)];
-      if (!Joined.Finished)
-        return StepResult::Blocked;
-      VmSyncOpsC.bump();
-      traceSync(Tid, TraceEvent::Kind::Acquire);
-      if (Tool)
-        Tool->onJoin(Tid, Joined.Tid);
-      if (Gt)
-        Gt->onJoin(Tid, Joined.Tid);
-      return StepResult::Progress;
-    }
-    case StmtKind::Await: {
-      const auto *A = cast<AwaitStmt>(S);
-      Value BV = local(F, A->BarrierSym);
-      auto It = BV.K == Value::Kind::Ref
-                    ? Barriers.find(static_cast<ObjectId>(BV.I))
-                    : Barriers.end();
-      if (It == Barriers.end()) {
-        setError("await on a non-barrier");
-        return StepResult::Progress;
-      }
-      BarrierRec &B = It->second;
-      if (!T.InBarrier) {
-        T.InBarrier = true;
-        T.WaitGen = B.Generation;
-        traceSync(Tid, TraceEvent::Kind::Release);
-        B.Arrived.push_back(Tid);
-        if (static_cast<int64_t>(B.Arrived.size()) == B.Parties) {
-          VmSyncOpsC.bump();
-          if (Tool)
-            Tool->onBarrier(B.Arrived);
-          if (Gt)
-            Gt->onBarrier(B.Arrived);
-          B.Arrived.clear();
-          ++B.Generation;
-        }
-      }
-      if (B.Generation != T.WaitGen) {
-        T.InBarrier = false;
-        traceSync(Tid, TraceEvent::Kind::Acquire);
-        return StepResult::Progress;
-      }
-      return StepResult::Blocked;
-    }
+    case StmtKind::Join:
+      return doJoin(T, cast<JoinStmt>(S)->HandleSym);
+    case StmtKind::Await:
+      return doAwait(T, cast<AwaitStmt>(S)->BarrierSym);
     case StmtKind::Check: {
       execCheck(T, cast<CheckStmt>(S));
       return StepResult::Progress;
@@ -882,6 +969,255 @@ private:
     }
     T.Frames.push_back(std::move(Callee));
   }
+
+  //===--- Bytecode stepping -----------------------------------------------------
+
+  /// Pre-flattened argument registers; otherwise bindArgs.
+  void bindArgRegs(Frame &Caller, Frame &Callee, const MethodDecl *M,
+                   const std::vector<uint32_t> &ArgRegs) {
+    if (ArgRegs.size() != M->ParamSyms.size()) {
+      setError("wrong argument count for '" + M->Name + "'");
+      return;
+    }
+    for (size_t I = 0; I < ArgRegs.size(); ++I)
+      Callee.Locals[M->ParamSyms[I]] = Caller.Locals[ArgRegs[I]];
+  }
+
+  void pushCallBc(ThreadCtx &T, const CallOperand &Op) {
+    Frame &F = T.Frames.back();
+    const MethodDecl *M = resolveMethod(F, Op.ReceiverReg, *Op.Method);
+    if (!M)
+      return;
+    Frame Callee = makeBcFrame(CP.chunkFor(M));
+    Callee.Method = M;
+    Callee.ReturnTargetSym = Op.TargetReg;
+    Callee.Locals[GSym] = Value::refV(GlobalObj);
+    Callee.Locals[ThisSym] = local(F, Op.ReceiverReg);
+    bindArgRegs(F, Callee, M, Op.ArgRegs);
+    if (T.Frames.size() > 512) {
+      setError("call stack overflow");
+      return;
+    }
+    T.Frames.push_back(std::move(Callee));
+  }
+
+  void doForkBc(ThreadCtx &T, const CallOperand &Op) {
+    Frame &F = T.Frames.back();
+    Value Recv = local(F, Op.ReceiverReg);
+    const MethodDecl *M = resolveMethod(F, Op.ReceiverReg, *Op.Method);
+    if (!M)
+      return;
+    Frame CF = makeBcFrame(CP.chunkFor(M));
+    CF.Method = M;
+    CF.Locals[GSym] = Value::refV(GlobalObj);
+    CF.Locals[ThisSym] = Recv;
+    bindArgRegs(F, CF, M, Op.ArgRegs);
+    finishFork(T, std::move(CF), Op.TargetReg);
+  }
+
+  /// One scheduler step over the compiled stream: free instructions run
+  /// until a Step-flagged instruction retires (every control-flow cycle
+  /// contains one — the loop exit test — so this cannot spin). Blocked
+  /// operations leave PC on themselves and retry; Call and Return exit
+  /// immediately because pushing or popping may move the frame vector.
+  StepResult stepBc(ThreadCtx &T) {
+    if (T.Frames.empty()) {
+      finishThread(T);
+      return StepResult::Progress;
+    }
+    Frame &F = T.Frames.back();
+    const Chunk &Ch = *F.Ch;
+    const Insn *Code = Ch.Code.data();
+    Value *Regs = F.Locals.data();
+    uint32_t PC = F.PC;
+    for (;;) {
+      const Insn &I = Code[PC];
+      uint32_t Next = PC + 1;
+      switch (I.Op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::LoadInt:
+        Regs[I.A] = Value::intV(Ch.Ints[I.B]);
+        break;
+      case Opcode::LoadNull:
+        Regs[I.A] = Value::nullV();
+        break;
+      case Opcode::Move:
+        Regs[I.A] = Regs[I.B];
+        break;
+      case Opcode::Neg: {
+        const Value &V = Regs[I.B];
+        if (V.K != Value::Kind::Int) {
+          setError("negation of a non-integer");
+          Regs[I.A] = Value::intV(0);
+        } else {
+          Regs[I.A] = Value::intV(-V.I);
+        }
+        break;
+      }
+      case Opcode::Not:
+        Regs[I.A] = Value::intV(Regs[I.B].truthy() ? 0 : 1);
+        break;
+      case Opcode::Boolify:
+        Regs[I.A] = Value::intV(Regs[I.B].truthy() ? 1 : 0);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Mod:
+      case Opcode::Lt:
+      case Opcode::Le:
+      case Opcode::Gt:
+      case Opcode::Ge: {
+        const Value &L = Regs[I.B];
+        const Value &Rv = Regs[I.C];
+        if (L.K != Value::Kind::Int || Rv.K != Value::Kind::Int) {
+          setError("arithmetic on non-integers");
+          Regs[I.A] = Value::intV(0);
+          break;
+        }
+        int64_t A = L.I, B = Rv.I, Out = 0;
+        switch (I.Op) {
+        case Opcode::Add:
+          Out = A + B;
+          break;
+        case Opcode::Sub:
+          Out = A - B;
+          break;
+        case Opcode::Mul:
+          Out = A * B;
+          break;
+        case Opcode::Div:
+          if (B == 0)
+            setError("division by zero");
+          else
+            Out = A / B;
+          break;
+        case Opcode::Mod:
+          if (B == 0)
+            setError("modulo by zero");
+          else
+            Out = A % B;
+          break;
+        case Opcode::Lt:
+          Out = A < B;
+          break;
+        case Opcode::Le:
+          Out = A <= B;
+          break;
+        case Opcode::Gt:
+          Out = A > B;
+          break;
+        case Opcode::Ge:
+          Out = A >= B;
+          break;
+        default:
+          break;
+        }
+        Regs[I.A] = Value::intV(Out);
+        break;
+      }
+      case Opcode::CmpEq:
+        Regs[I.A] = Value::intV(Regs[I.B].equals(Regs[I.C]) ? 1 : 0);
+        break;
+      case Opcode::CmpNe:
+        Regs[I.A] = Value::intV(Regs[I.B].equals(Regs[I.C]) ? 0 : 1);
+        break;
+      case Opcode::Jmp:
+        Next = I.A;
+        break;
+      case Opcode::JmpIfFalse:
+        if (!Regs[I.A].truthy())
+          Next = I.B;
+        break;
+      case Opcode::JmpIfTrue:
+        if (Regs[I.A].truthy())
+          Next = I.B;
+        break;
+      case Opcode::Br:
+        if (!Regs[I.A].truthy())
+          Next = I.B;
+        break;
+      case Opcode::NewObject:
+        doNew(T, I.A, Ch.Classes[I.B]);
+        break;
+      case Opcode::NewArray:
+        doNewArray(T, I.A, Regs[I.B]);
+        break;
+      case Opcode::NewBarrier:
+        doNewBarrier(T, I.A, Regs[I.B]);
+        break;
+      case Opcode::FieldRead:
+      case Opcode::FieldReadVol:
+        doFieldRead(T, I.A, I.B, I.C, I.Op == Opcode::FieldReadVol,
+                    Syms->name(I.C));
+        break;
+      case Opcode::FieldWrite:
+      case Opcode::FieldWriteVol:
+        doFieldWrite(T, I.A, I.C, Regs[I.B],
+                     I.Op == Opcode::FieldWriteVol, Syms->name(I.C));
+        break;
+      case Opcode::ArrayRead:
+        doArrayRead(T, I.A, I.B, Regs[I.C]);
+        break;
+      case Opcode::ArrayWrite:
+        doArrayWrite(T, I.A, Regs[I.B], Regs[I.C]);
+        break;
+      case Opcode::ArrayLen:
+        doArrayLen(T, I.A, I.B);
+        break;
+      case Opcode::Acquire:
+        if (doAcquire(T, I.A) == StepResult::Blocked) {
+          F.PC = PC;
+          return StepResult::Blocked;
+        }
+        break;
+      case Opcode::Release:
+        doRelease(T, I.A);
+        break;
+      case Opcode::Call:
+        F.PC = Next;
+        pushCallBc(T, Ch.Calls[I.A]);
+        return StepResult::Progress;
+      case Opcode::Fork:
+        doForkBc(T, Ch.Calls[I.A]);
+        break;
+      case Opcode::Join:
+        if (doJoin(T, I.A) == StepResult::Blocked) {
+          F.PC = PC;
+          return StepResult::Blocked;
+        }
+        break;
+      case Opcode::Await:
+        if (doAwait(T, I.A) == StepResult::Blocked) {
+          F.PC = PC;
+          return StepResult::Blocked;
+        }
+        break;
+      case Opcode::Check:
+        execCheck(T, Ch.Checks[I.A]);
+        break;
+      case Opcode::Print:
+        Result.Output.push_back(Regs[I.A].str());
+        break;
+      case Opcode::Assert:
+        if (!Regs[I.A].truthy())
+          setError(Ch.Msgs[I.B]);
+        break;
+      case Opcode::Return:
+        returnFromFrame(T);
+        return StepResult::Progress;
+      }
+      PC = Next;
+      if (I.Step) {
+        F.PC = PC;
+        return StepResult::Progress;
+      }
+    }
+  }
+
+  //===--- Check execution (shared) ----------------------------------------------
 
   /// Evaluates a compiled affine bound over the frame's locals. Matches
   /// AffineExpr::evaluate over the string environment: unset locals read

@@ -50,6 +50,10 @@ struct VmOptions {
   uint64_t CommitIntervalSteps = 0;
   /// Record the per-thread access/check/sync event trace (tests only).
   bool RecordEventTrace = false;
+  /// Execute compiled register bytecode (the default) instead of walking
+  /// the statement tree. Both modes are schedule- and result-identical;
+  /// the AST walker remains as a differential reference and escape hatch.
+  bool UseBytecode = true;
 };
 
 /// One entry of the recorded event trace (RecordEventTrace). Location
@@ -73,6 +77,9 @@ struct VmResult {
   std::set<std::string> ToolRacyLocations;
   std::set<std::string> GroundTruthRacyLocations;
   std::vector<TraceEvent> Trace; ///< When VmOptions::RecordEventTrace.
+  /// Scheduler steps executed (identical across execution modes); the
+  /// dispatch benchmark's ns/statement denominator.
+  uint64_t StatementsExecuted = 0;
 };
 
 /// Runs \p Prog to completion under \p Opts, with \p Tool attached (may be

@@ -60,6 +60,38 @@ TEST(Harness, ShadowOpsNeverExceedFastTrackOnCompressedTools) {
             R.tool("fasttrack").PeakShadowBytes);
 }
 
+TEST(Harness, SuiteResultsIdenticalAcrossJobCounts) {
+  // Iterations = 0 skips the wall-clock phase, so everything measured is
+  // deterministic; serial and 4-way parallel runs must agree exactly, in
+  // the same order.
+  ExperimentOptions Serial;
+  Serial.Iterations = 0;
+  Serial.Jobs = 1;
+  ExperimentOptions Parallel = Serial;
+  Parallel.Jobs = 4;
+  std::vector<ExperimentResult> A = runSuite(SuiteScale::Test, Serial);
+  std::vector<ExperimentResult> B = runSuite(SuiteScale::Test, Parallel);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Workload, B[I].Workload);
+    EXPECT_EQ(A[I].Accesses, B[I].Accesses);
+    EXPECT_EQ(A[I].BaseHeapBytes, B[I].BaseHeapBytes);
+    EXPECT_EQ(A[I].BigFootChecks, B[I].BigFootChecks);
+    EXPECT_EQ(A[I].MethodsProcessed, B[I].MethodsProcessed);
+    ASSERT_EQ(A[I].Tools.size(), B[I].Tools.size());
+    for (size_t T = 0; T < A[I].Tools.size(); ++T) {
+      EXPECT_EQ(A[I].Tools[T].Tool, B[I].Tools[T].Tool);
+      EXPECT_EQ(A[I].Tools[T].ShadowOps, B[I].Tools[T].ShadowOps);
+      EXPECT_EQ(A[I].Tools[T].Races, B[I].Tools[T].Races);
+      EXPECT_EQ(A[I].Tools[T].PeakShadowBytes,
+                B[I].Tools[T].PeakShadowBytes);
+      EXPECT_EQ(A[I].Tools[T].PeakShadowLocations,
+                B[I].Tools[T].PeakShadowLocations);
+      EXPECT_DOUBLE_EQ(A[I].Tools[T].CheckRatio, B[I].Tools[T].CheckRatio);
+    }
+  }
+}
+
 TEST(Harness, GeomeanOverheadBehaves) {
   EXPECT_NEAR(geomeanOverhead({2.0, 8.0}), 4.0, 1e-9);
   EXPECT_NEAR(geomeanOverhead({3.0}), 3.0, 1e-9);
@@ -69,13 +101,21 @@ TEST(Harness, GeomeanOverheadBehaves) {
 }
 
 TEST(Harness, BenchArgsParsing) {
-  const char *Argv[] = {"prog", "--small", "--iters=7", "--seed=42"};
-  BenchArgs Args = parseBenchArgs(4, const_cast<char **>(Argv));
+  const char *Argv[] = {"prog",      "--small",  "--iters=7",
+                        "--seed=42", "--jobs=3", "--ast"};
+  BenchArgs Args = parseBenchArgs(6, const_cast<char **>(Argv));
   EXPECT_EQ(Args.Scale, SuiteScale::Test);
   EXPECT_EQ(Args.Opts.Iterations, 7);
   EXPECT_EQ(Args.Opts.Seed, 42u);
+  EXPECT_EQ(Args.Opts.Jobs, 3u);
+  EXPECT_FALSE(Args.Opts.UseBytecode);
   BenchArgs Defaults = parseBenchArgs(1, const_cast<char **>(Argv));
   EXPECT_EQ(Defaults.Scale, SuiteScale::Bench);
+  EXPECT_EQ(Defaults.Opts.Jobs, 0u);
+  EXPECT_TRUE(Defaults.Opts.UseBytecode);
+  // --iters=0 is a legitimate counters-only request, not clamped.
+  const char *Zero[] = {"prog", "--iters=0"};
+  EXPECT_EQ(parseBenchArgs(2, const_cast<char **>(Zero)).Opts.Iterations, 0);
 }
 
 TEST(TablePrinterTest, AlignsColumnsAndHeaderRule) {

@@ -153,6 +153,64 @@ TEST(InternEquivalence, BehaviorMatchesStringKeyedGolden) {
 }
 
 //===----------------------------------------------------------------------===
+// AST walker vs compiled bytecode: the two execution modes of the VM must
+// agree on *everything* observable — status, output, scheduler step count,
+// every counter, tool and oracle racy-location sets, race reports, and the
+// full per-thread event trace (which pins down the interleaving itself,
+// not just its outcome). Same coverage grid as the golden test: every
+// workload and racy variant × six configs × three seeds.
+//===----------------------------------------------------------------------===
+
+TEST(BytecodeEquivalence, MatchesAstWalkerEverywhere) {
+  std::vector<Workload> Suite = standardSuite(SuiteScale::Test);
+  for (Workload &W : racyVariants())
+    Suite.push_back(std::move(W));
+  for (const Workload &W : Suite) {
+    ParseResult PR = parseProgram(W.Source);
+    ASSERT_TRUE(PR.ok()) << W.Name << ": " << PR.Error;
+    std::vector<InstrumentedProgram> Configs = allSixConfigs(*PR.Prog);
+    for (const InstrumentedProgram &IP : Configs) {
+      for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+        VmOptions Opts;
+        Opts.Seed = Seed;
+        Opts.RecordEventTrace = true;
+        Opts.EnableGroundTruth = true;
+        Opts.UseBytecode = false;
+        VmResult Ast = runProgram(*IP.Prog, IP.Tool, Opts);
+        Opts.UseBytecode = true;
+        VmResult Bc = runProgram(*IP.Prog, IP.Tool, Opts);
+
+        std::string Tag =
+            W.Name + "/" + IP.Tool.Name + "/seed" + std::to_string(Seed);
+        EXPECT_EQ(Ast.Ok, Bc.Ok) << Tag;
+        EXPECT_EQ(Ast.Error, Bc.Error) << Tag;
+        EXPECT_EQ(Ast.Output, Bc.Output) << Tag;
+        EXPECT_EQ(Ast.StatementsExecuted, Bc.StatementsExecuted) << Tag;
+        EXPECT_EQ(Ast.Counters.all(), Bc.Counters.all()) << Tag;
+        EXPECT_EQ(Ast.ToolRacyLocations, Bc.ToolRacyLocations) << Tag;
+        EXPECT_EQ(Ast.GroundTruthRacyLocations, Bc.GroundTruthRacyLocations)
+            << Tag;
+        ASSERT_EQ(Ast.ToolRaces.size(), Bc.ToolRaces.size()) << Tag;
+        for (size_t I = 0; I < Ast.ToolRaces.size(); ++I)
+          EXPECT_EQ(Ast.ToolRaces[I].str(), Bc.ToolRaces[I].str())
+              << Tag << " race " << I;
+        ASSERT_EQ(Ast.Trace.size(), Bc.Trace.size()) << Tag;
+        for (size_t I = 0; I < Ast.Trace.size(); ++I) {
+          const TraceEvent &A = Ast.Trace[I];
+          const TraceEvent &B = Bc.Trace[I];
+          ASSERT_TRUE(A.K == B.K && A.Tid == B.Tid &&
+                      A.Access == B.Access && A.Loc == B.Loc)
+              << Tag << " trace event " << I << ": ast={kind="
+              << static_cast<int>(A.K) << " tid=" << A.Tid
+              << " loc=" << A.Loc << "} bc={kind=" << static_cast<int>(B.K)
+              << " tid=" << B.Tid << " loc=" << B.Loc << "}";
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Incremental-census audit: shadowBytes()/shadowLocationCount() are O(1)
 // counters maintained across every shadow mutation; the audit variants
 // recompute by walking all state. They must agree at every point, for

@@ -32,19 +32,21 @@ VectorClock clockFor(ThreadId T) {
 }
 
 void BM_EpochSameThreadWrite(benchmark::State &State) {
+  ClockPool Pool;
   FastTrackState S;
   VectorClock C = clockFor(0);
   for (auto _ : State)
-    benchmark::DoNotOptimize(S.onWrite(0, C));
+    benchmark::DoNotOptimize(S.onWrite(0, C, Pool));
 }
 BENCHMARK(BM_EpochSameThreadWrite);
 
 void BM_EpochOrderedReadWrite(benchmark::State &State) {
+  ClockPool Pool;
   FastTrackState S;
   VectorClock C = clockFor(0);
   for (auto _ : State) {
-    benchmark::DoNotOptimize(S.onRead(0, C));
-    benchmark::DoNotOptimize(S.onWrite(0, C));
+    benchmark::DoNotOptimize(S.onRead(0, C, Pool));
+    benchmark::DoNotOptimize(S.onWrite(0, C, Pool));
   }
 }
 BENCHMARK(BM_EpochOrderedReadWrite);
@@ -64,8 +66,9 @@ void BM_VectorClockJoin(benchmark::State &State) {
 BENCHMARK(BM_VectorClockJoin);
 
 void BM_CoarseWholeArrayCheck(benchmark::State &State) {
+  ClockPool Pool;
   VectorClock C = clockFor(0);
-  ArrayShadow S(1 << 16, /*Adaptive=*/true);
+  ArrayShadow S(1 << 16, /*Adaptive=*/true, Pool);
   StridedRange Whole(0, 1 << 16);
   for (auto _ : State)
     benchmark::DoNotOptimize(S.apply(Whole, AccessKind::Write, 0, C));
@@ -73,8 +76,9 @@ void BM_CoarseWholeArrayCheck(benchmark::State &State) {
 BENCHMARK(BM_CoarseWholeArrayCheck);
 
 void BM_FineWholeArrayCheck(benchmark::State &State) {
+  ClockPool Pool;
   VectorClock C = clockFor(0);
-  ArrayShadow S(1 << 10, /*Adaptive=*/false);
+  ArrayShadow S(1 << 10, /*Adaptive=*/false, Pool);
   StridedRange Whole(0, 1 << 10);
   for (auto _ : State)
     benchmark::DoNotOptimize(S.apply(Whole, AccessKind::Write, 0, C));
@@ -193,14 +197,13 @@ uint64_t driveDetector(RaceDetector &D, int Rounds) {
   return 0;
 }
 
-double nsPerShadowOp(const DetectorConfig &Cfg) {
+double nsPerShadowOp(const DetectorConfig &Cfg, int Rounds) {
   Stats Counters;
   RaceDetector D(Cfg, Counters);
   driveDetector(D, 50); // Warm up table sizes and epochs.
   uint64_t OpsBefore = Counters.get("tool.shadowOps") +
                        Counters.get("tool.footprintAdds");
   Timer T;
-  constexpr int Rounds = 2000;
   driveDetector(D, Rounds);
   double Sec = T.seconds();
   uint64_t Ops = Counters.get("tool.shadowOps") +
@@ -208,7 +211,7 @@ double nsPerShadowOp(const DetectorConfig &Cfg) {
   return Ops ? Sec * 1e9 / static_cast<double>(Ops) : 0;
 }
 
-void emitShadowOpJson() {
+void emitShadowOpJson(int Rounds) {
   std::vector<std::pair<std::string, DetectorConfig>> Configs;
   Configs.emplace_back("fasttrack", fastTrackConfig());
   Configs.emplace_back("djit", djitConfig());
@@ -221,7 +224,7 @@ void emitShadowOpJson() {
                      "\"unit\":\"ns_per_shadow_op\",\"configs\":{";
   bool First = true;
   for (auto &[Name, Cfg] : Configs) {
-    double Ns = nsPerShadowOp(Cfg);
+    double Ns = nsPerShadowOp(Cfg, Rounds);
     char Buf[160];
     std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%.2f", First ? "" : ",",
                   Name.c_str(), Ns);
@@ -241,11 +244,23 @@ void emitShadowOpJson() {
 } // namespace
 
 int main(int argc, char **argv) {
+  // --quick (CI smoke mode): a fraction of the measurement rounds, enough
+  // to prove the harness runs and emits well-formed JSON. Stripped before
+  // google-benchmark sees the arguments.
+  int Rounds = 2000;
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]) == "--quick") {
+      Rounds = 100;
+      for (int J = I; J + 1 < argc; ++J)
+        argv[J] = argv[J + 1];
+      --argc;
+      break;
+    }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emitShadowOpJson();
+  emitShadowOpJson(Rounds);
   return 0;
 }

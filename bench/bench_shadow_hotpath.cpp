@@ -1,0 +1,163 @@
+//===- bench_shadow_hotpath.cpp - Shadow-state hot path benchmark ----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Measures ns per shadow operation on the detector's check hot path — the
+// coalesced field checks and array range checks the VM issues — for every
+// named configuration, and compares against hardcoded baselines measured
+// with this exact workload and methodology before the cache-conscious
+// shadow-state rework (pooled clocks, packed epochs, probe-free coalesced
+// checks; DESIGN.md Sec. 8). Emits BENCH_shadow_hotpath.json.
+//
+// Methodology: each configuration runs the workload for `--reps`
+// repetitions of `--rounds` rounds after a warmup, and reports the
+// minimum ns/op across repetitions. The minimum is the standard robust
+// estimator for microbenchmarks on shared machines: external load only
+// ever adds time, so the fastest repetition is the closest to the true
+// cost. The committed baselines were taken the same way (best of 9 x 500
+// rounds) on the same machine at the pre-rework commit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Detector.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace bigfoot;
+
+namespace {
+
+/// ns/shadow-op at commit 617a7bc (flat shadow tables, unique_ptr clocks,
+/// per-op epoch recomputation), measured with this harness' defaults.
+/// The acceptance bar for the rework is a >= 1.5x geomean speedup on the
+/// fasttrack and bigfoot configurations.
+const std::map<std::string, double> kBaselineNs = {
+    {"fasttrack", 26.34}, {"djit", 25.36},     {"redcard", 33.52},
+    {"slimstate", 26.14}, {"slimcard", 33.79}, {"bigfoot", 34.27},
+};
+
+/// Field-proxy table matching the workload-typical shape: y and z proxy
+/// through x, so proxy-aware configs fuse the three-field group into one
+/// shadow location.
+std::map<std::string, std::string> benchProxies() {
+  return {{"x", "x"}, {"y", "x"}, {"z", "x"}};
+}
+
+/// The mixed check workload: coalesced three-field group writes and
+/// single-field reads over a working set of objects, sequential singleton
+/// array writes, and a release each round so deferred configs exercise
+/// footprint commit. Field ids are interned once up front — the loop
+/// drives the id-based hot path exactly the way the VM does.
+void drive(RaceDetector &D, int Rounds, const FieldId *Group,
+           const FieldId *One, ObjectId ArrayId) {
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (ObjectId Obj = 1; Obj <= 64; ++Obj) {
+      D.checkFields(0, Obj, Group, 3, AccessKind::Write);
+      D.checkFields(0, Obj, One, 1, AccessKind::Read);
+    }
+    for (int64_t I = 0; I < 64; ++I)
+      D.checkArrayRange(0, ArrayId, StridedRange::singleton(I),
+                        AccessKind::Write);
+    D.onRelease(0, 9999);
+  }
+}
+
+double bestNsPerOp(const DetectorConfig &Cfg, int Rounds, int Reps) {
+  Stats Counters;
+  RaceDetector D(Cfg, Counters);
+  const FieldId Group[3] = {D.internField("x"), D.internField("y"),
+                            D.internField("z")};
+  const FieldId One[1] = {Group[0]};
+  const ObjectId ArrayId = 1000;
+  D.onArrayAlloc(ArrayId, 4096);
+  drive(D, 50, Group, One, ArrayId); // Warm tables, caches, epochs.
+  double Best = 1e30;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    uint64_t Before = Counters.get("tool.shadowOps") +
+                      Counters.get("tool.footprintAdds");
+    Timer T;
+    drive(D, Rounds, Group, One, ArrayId);
+    double Sec = T.seconds();
+    uint64_t Ops = Counters.get("tool.shadowOps") +
+                   Counters.get("tool.footprintAdds") - Before;
+    if (Ops)
+      Best = std::min(Best, Sec * 1e9 / static_cast<double>(Ops));
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Rounds = 500;
+  int Reps = 9;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0) {
+      // CI smoke mode: enough to prove the harness runs and emits
+      // well-formed JSON; CI timings are noisy and not archived.
+      Rounds = 50;
+      Reps = 2;
+    } else if (std::strncmp(argv[I], "--rounds=", 9) == 0) {
+      Rounds = std::atoi(argv[I] + 9);
+    } else if (std::strncmp(argv[I], "--reps=", 7) == 0) {
+      Reps = std::atoi(argv[I] + 7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--rounds=N] [--reps=N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::vector<std::pair<std::string, DetectorConfig>> Configs;
+  Configs.emplace_back("fasttrack", fastTrackConfig());
+  Configs.emplace_back("djit", djitConfig());
+  Configs.emplace_back("redcard", redCardConfig(benchProxies()));
+  Configs.emplace_back("slimstate", slimStateConfig());
+  Configs.emplace_back("slimcard", slimCardConfig(benchProxies()));
+  Configs.emplace_back("bigfoot", bigFootConfig(benchProxies()));
+
+  std::string Json = "{\"bench\":\"shadow_hotpath\","
+                     "\"unit\":\"ns_per_shadow_op\","
+                     "\"baseline_commit\":\"617a7bc\",\"configs\":{";
+  double GeoAccum = 0;
+  int GeoCount = 0;
+  bool First = true;
+  for (auto &[Name, Cfg] : Configs) {
+    double Ns = bestNsPerOp(Cfg, Rounds, Reps);
+    double Base = kBaselineNs.at(Name);
+    double Speedup = Ns > 0 ? Base / Ns : 0;
+    if (Name == "fasttrack" || Name == "bigfoot") {
+      GeoAccum += std::log(Speedup);
+      ++GeoCount;
+    }
+    char Buf[200];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\"%s\":{\"baseline\":%.2f,\"current\":%.2f,"
+                  "\"speedup\":%.2f}",
+                  First ? "" : ",", Name.c_str(), Base, Ns, Speedup);
+    Json += Buf;
+    First = false;
+  }
+  double Geomean = GeoCount ? std::exp(GeoAccum / GeoCount) : 0;
+  char Tail[96];
+  std::snprintf(Tail, sizeof(Tail),
+                "},\"geomean_speedup_fasttrack_bigfoot\":%.2f}", Geomean);
+  Json += Tail;
+
+  std::FILE *Out = std::fopen("BENCH_shadow_hotpath.json", "w");
+  if (Out) {
+    std::fprintf(Out, "%s\n", Json.c_str());
+    std::fclose(Out);
+  }
+  std::printf("%s\n", Json.c_str());
+  return 0;
+}

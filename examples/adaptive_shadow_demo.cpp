@@ -44,12 +44,13 @@ void narrate(ArrayShadow &S, const StridedRange &R, AccessKind K,
 } // namespace
 
 int main() {
+  ClockPool Pool;
   VectorClock T0, T1;
   T0.set(0, 1);
   T1.set(1, 1);
 
   std::cout << "=== The paper's movePts scenario (Section 1) ===\n";
-  ArrayShadow A(1000, /*Adaptive=*/true);
+  ArrayShadow A(1000, /*Adaptive=*/true, Pool);
   std::cout << "new array of 1000: " << modeName(A.mode()) << "\n";
   narrate(A, StridedRange(0, 1000), AccessKind::Read, 0, T0);
   std::cout << "movePts(a, 0, a.length/2) refines the representation:\n";
@@ -57,7 +58,7 @@ int main() {
 
   std::cout << "\n=== Strided sweeps keep one location per residue class "
                "===\n";
-  ArrayShadow B(1024, true);
+  ArrayShadow B(1024, true, Pool);
   narrate(B, StridedRange(0, 1024, 2), AccessKind::Write, 0, T0);
   narrate(B, StridedRange(1, 1024, 2), AccessKind::Write, 1, T1);
   std::cout << "  (two threads, disjoint residue classes, no races, two "
@@ -65,7 +66,7 @@ int main() {
 
   std::cout << "\n=== Block-strided chunks (sor's red/black halves) stay "
                "on the grid ===\n";
-  ArrayShadow G(12000, true);
+  ArrayShadow G(12000, true, Pool);
   narrate(G, StridedRange(1, 6000, 2), AccessKind::Write, 0, T0);
   narrate(G, StridedRange(6001, 12000, 2), AccessKind::Write, 1, T1);
   narrate(G, StridedRange(2, 6000, 2), AccessKind::Write, 0, T0);
@@ -75,7 +76,7 @@ int main() {
 
   std::cout << "\n=== The lufact pattern defeats compression (Section 6.2) "
                "===\n";
-  ArrayShadow Tri(2000, true);
+  ArrayShadow Tri(2000, true, Pool);
   unsigned Ops = 0;
   for (int64_t Lo = 0; Lo < 600; ++Lo)
     Ops += Tri.apply(StridedRange(Lo, 2000), AccessKind::Write, 0, T0)
@@ -85,7 +86,7 @@ int main() {
             << " shadow ops total\n";
 
   std::cout << "\n=== Refinement never forgets history ===\n";
-  ArrayShadow Hist(100, true);
+  ArrayShadow Hist(100, true, Pool);
   Hist.apply(StridedRange(0, 100), AccessKind::Write, 0, T0);
   ShadowOpResult Racy =
       Hist.apply(StridedRange(10, 20), AccessKind::Write, 1, T1);

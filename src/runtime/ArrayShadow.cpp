@@ -6,13 +6,16 @@
 
 #include "runtime/ArrayShadow.h"
 
+#include "runtime/ShadowCosts.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace bigfoot;
 
-ArrayShadow::ArrayShadow(int64_t Length, bool Adaptive, bool VcOnly)
-    : Length(Length < 0 ? 0 : Length) {
+ArrayShadow::ArrayShadow(int64_t Length, bool Adaptive, ClockPool &Pool,
+                         bool VcOnly)
+    : Length(Length < 0 ? 0 : Length), Pool(&Pool) {
   if (Adaptive && this->Length > 1) {
     Coarse = true;
     States.resize(1);
@@ -22,9 +25,16 @@ ArrayShadow::ArrayShadow(int64_t Length, bool Adaptive, bool VcOnly)
   }
   if (VcOnly)
     for (FastTrackState &S : States)
-      S.forceVectorClocks();
-  // Refinements copy existing states, so VC-ness propagates on splits.
+      S.forceVectorClocks(Pool);
+  // Refinements clone existing states, so VC-ness propagates on splits.
   StateBytes = stateSum(States);
+}
+
+size_t ArrayShadow::stateSum(const std::vector<FastTrackState> &V) const {
+  size_t Bytes = 0;
+  for (const FastTrackState &S : V)
+    Bytes += shadowcost::stateBytes(S, *Pool);
+  return Bytes;
 }
 
 ArrayShadow::Mode ArrayShadow::mode() const {
@@ -41,14 +51,19 @@ void ArrayShadow::toFine() {
   std::vector<FastTrackState> FineStates(static_cast<size_t>(Length));
   if (Coarse) {
     for (auto &S : FineStates)
-      S = States[0];
+      S = States[0].clone(*Pool);
   } else {
     for (size_t Seg = 0; Seg + 1 < Bounds.size(); ++Seg)
       for (int64_t I = Bounds[Seg]; I < Bounds[Seg + 1]; ++I)
         FineStates[static_cast<size_t>(I)] =
             States[Seg * static_cast<size_t>(StrideK) +
-                   static_cast<size_t>(I % StrideK)];
+                   static_cast<size_t>(I % StrideK)]
+                .clone(*Pool);
   }
+  // The covering states are dropped: their pool slots go back on the
+  // free list for the clones (and later inflations) to reuse.
+  for (FastTrackState &S : States)
+    S.reset(*Pool);
   States = std::move(FineStates);
   Bounds.clear();
   StrideK = 1;
@@ -62,7 +77,8 @@ void ArrayShadow::toGrid(int64_t K) {
   assert(K >= 1);
   std::vector<FastTrackState> Grid(static_cast<size_t>(K));
   for (auto &S : Grid)
-    S = States[0];
+    S = States[0].clone(*Pool);
+  States[0].reset(*Pool);
   States = std::move(Grid);
   Bounds = {0, Length};
   StrideK = K;
@@ -81,25 +97,27 @@ bool ArrayShadow::splitAt(int64_t At, ShadowOpResult &Result) {
     return false;
   size_t Seg = static_cast<size_t>(It - Bounds.begin()) - 1;
   Bounds.insert(It, At);
-  // Duplicate the segment's class states for the new right half.
+  // Duplicate the segment's class states for the new right half: a pool
+  // clone per class, not a deep copy.
   size_t Base = Seg * static_cast<size_t>(StrideK);
-  std::vector<FastTrackState> Copy(
-      States.begin() + static_cast<ptrdiff_t>(Base),
-      States.begin() +
-          static_cast<ptrdiff_t>(Base + static_cast<size_t>(StrideK)));
+  std::vector<FastTrackState> Copy;
+  Copy.reserve(static_cast<size_t>(StrideK));
+  for (size_t I = 0; I < static_cast<size_t>(StrideK); ++I)
+    Copy.push_back(States[Base + I].clone(*Pool));
+  StateBytes += stateSum(Copy);
   States.insert(
       States.begin() +
           static_cast<ptrdiff_t>(Base + static_cast<size_t>(StrideK)),
-      Copy.begin(), Copy.end());
-  StateBytes += stateSum(Copy);
+      std::make_move_iterator(Copy.begin()),
+      std::make_move_iterator(Copy.end()));
   ++Result.Refinements;
   return true;
 }
 
 ShadowOpResult ArrayShadow::reapply(const StridedRange &R, AccessKind K,
-                                    ThreadId T, const VectorClock &C,
+                                    Epoch Cur, const VectorClock &C,
                                     ShadowOpResult Result) {
-  ShadowOpResult Rec = apply(R, K, T, C);
+  ShadowOpResult Rec = apply(R, K, Cur, C);
   Result.ShadowOps += Rec.ShadowOps;
   Result.Refinements += Rec.Refinements;
   Result.Races.insert(Result.Races.end(), Rec.Races.begin(),
@@ -107,21 +125,30 @@ ShadowOpResult ArrayShadow::reapply(const StridedRange &R, AccessKind K,
   return Result;
 }
 
-void ArrayShadow::opOn(FastTrackState &State, AccessKind K, ThreadId T,
+void ArrayShadow::opOn(FastTrackState &State, AccessKind K, Epoch Cur,
                        const VectorClock &C, ShadowOpResult &Result) {
   ++Result.ShadowOps;
-  size_t Before = State.memoryBytes();
-  std::optional<RaceInfo> Race =
-      K == AccessKind::Read ? State.onRead(T, C) : State.onWrite(T, C);
-  // Unsigned wrap-around makes the diff correct even when the state
-  // shrinks (a write dropping a shared read set).
-  StateBytes += State.memoryBytes() - Before;
+  // Epoch-only states stay 24 POD bytes through any epoch-only op; only
+  // recount bytes when a pooled clock is involved before or after.
+  bool WasInflated = State.readVc() != ClockPool::kNone ||
+                     State.writeVc() != ClockPool::kNone;
+  size_t Before = WasInflated ? shadowcost::stateBytes(State, *Pool) : 0;
+  std::optional<RaceInfo> Race = K == AccessKind::Read
+                                     ? State.onRead(Cur, C, *Pool)
+                                     : State.onWrite(Cur, C, *Pool);
+  if (WasInflated || State.readVc() != ClockPool::kNone) {
+    if (!WasInflated)
+      Before = sizeof(FastTrackState); // Inflated during this op.
+    // Unsigned wrap-around makes the diff correct even when the state
+    // shrinks (a write dropping a shared read set).
+    StateBytes += shadowcost::stateBytes(State, *Pool) - Before;
+  }
   if (Race)
     Result.Races.push_back(*Race);
 }
 
 ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
-                                  ThreadId T, const VectorClock &C) {
+                                  Epoch Cur, const VectorClock &C) {
   ShadowOpResult Result;
   if (R.empty() || Length == 0)
     return Result;
@@ -136,18 +163,18 @@ ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
 
   if (Coarse) {
     if (isWhole(Clipped)) {
-      opOn(States[0], K, T, C, Result);
+      opOn(States[0], K, Cur, C, Result);
       return Result;
     }
     ++Result.Refinements;
     toGrid(Clipped.stride());
-    return reapply(Clipped, K, T, C, std::move(Result));
+    return reapply(Clipped, K, Cur, C, std::move(Result));
   }
 
   if (Fine) {
     for (int64_t I = Clipped.begin(); I < Clipped.end();
          I += Clipped.stride())
-      opOn(States[static_cast<size_t>(I)], K, T, C, Result);
+      opOn(States[static_cast<size_t>(I)], K, Cur, C, Result);
     return Result;
   }
 
@@ -171,7 +198,7 @@ ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
     if (!splitAt(SpanLo, Result) || !splitAt(SpanHi, Result)) {
       ++Result.Refinements;
       toFine();
-      return reapply(Clipped, K, T, C, std::move(Result));
+      return reapply(Clipped, K, Cur, C, std::move(Result));
     }
     size_t Class = static_cast<size_t>(Clipped.begin() % GK);
     for (size_t Seg = 0; Seg + 1 < Bounds.size(); ++Seg) {
@@ -180,7 +207,8 @@ ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
       // Skip segments whose class-r slice is empty (ragged tail).
       if (Bounds[Seg] + static_cast<int64_t>(Class) >= Bounds[Seg + 1])
         continue;
-      opOn(States[Seg * static_cast<size_t>(GK) + Class], K, T, C, Result);
+      opOn(States[Seg * static_cast<size_t>(GK) + Class], K, Cur, C,
+           Result);
     }
     return Result;
   }
@@ -201,20 +229,20 @@ ShadowOpResult ArrayShadow::apply(const StridedRange &R, AccessKind K,
             continue;
           opOn(States[Seg * static_cast<size_t>(GK) +
                       static_cast<size_t>(Cls)],
-               K, T, C, Result);
+               K, Cur, C, Result);
         }
       }
       return Result;
     }
     ++Result.Refinements;
     toFine();
-    return reapply(Clipped, K, T, C, std::move(Result));
+    return reapply(Clipped, K, Cur, C, std::move(Result));
   }
 
   // Any other stride mismatch: no compressed representation fits.
   ++Result.Refinements;
   toFine();
-  return reapply(Clipped, K, T, C, std::move(Result));
+  return reapply(Clipped, K, Cur, C, std::move(Result));
 }
 
 size_t ArrayShadow::auditMemoryBytes() const {

@@ -16,7 +16,9 @@
 /// location per element.
 ///
 /// Refinement copies the covering location's state into each finer
-/// location, which preserves the recorded access history exactly.
+/// location, which preserves the recorded access history exactly. States
+/// are pool-backed PODs (FastTrackState), so those copies are pool clones
+/// and the dropped originals release their slots back to the pool.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +26,7 @@
 #define BIGFOOT_RUNTIME_ARRAYSHADOW_H
 
 #include "bfj/Path.h"
+#include "runtime/ClockPool.h"
 #include "runtime/FastTrackState.h"
 #include "support/StridedRange.h"
 
@@ -48,13 +51,28 @@ public:
 
   /// \p Length is the array length; \p Adaptive false forces Fine mode
   /// from the start (the representation FastTrack and RedCard use).
-  /// \p VcOnly puts every location in DJIT+ vector-clock mode.
-  ArrayShadow(int64_t Length, bool Adaptive, bool VcOnly = false);
+  /// \p Pool owns the inflated clocks of every location and must outlive
+  /// the shadow. \p VcOnly puts every location in DJIT+ vector-clock mode.
+  ArrayShadow(int64_t Length, bool Adaptive, ClockPool &Pool,
+              bool VcOnly = false);
 
-  /// Applies a read/write check over \p R for thread \p T with clock \p C,
-  /// refining the representation when \p R does not fit it.
-  ShadowOpResult apply(const StridedRange &R, AccessKind K, ThreadId T,
+  // States hold pool indices: copying would alias them, moving is fine.
+  ArrayShadow(const ArrayShadow &) = delete;
+  ArrayShadow &operator=(const ArrayShadow &) = delete;
+  ArrayShadow(ArrayShadow &&) = default;
+  ArrayShadow &operator=(ArrayShadow &&) = default;
+
+  /// Applies a read/write check over \p R at epoch \p Cur (thread
+  /// Cur.tid()) with full clock \p C, refining the representation when
+  /// \p R does not fit it.
+  ShadowOpResult apply(const StridedRange &R, AccessKind K, Epoch Cur,
                        const VectorClock &C);
+
+  /// Convenience computing the epoch from \p C (tests, ad-hoc drivers).
+  ShadowOpResult apply(const StridedRange &R, AccessKind K, ThreadId T,
+                       const VectorClock &C) {
+    return apply(R, K, C.epochOf(T), C);
+  }
 
   Mode mode() const;
 
@@ -74,6 +92,8 @@ public:
 
 private:
   int64_t Length;
+  /// The detector-owned clock pool backing every state's inflated clocks.
+  ClockPool *Pool;
   bool Coarse = false; ///< Single location covering everything.
   bool Fine = false;   ///< One location per element.
   /// Grid representation (when neither Coarse nor Fine): segments are
@@ -83,17 +103,12 @@ private:
   std::vector<int64_t> Bounds;
   int64_t StrideK = 1;
   std::vector<FastTrackState> States;
-  /// Sum of States[i].memoryBytes(), maintained incrementally.
+  /// Sum of shadowcost::stateBytes over States, maintained incrementally.
   size_t StateBytes = 0;
 
   static constexpr size_t MaxGridStates = 256;
 
-  static size_t stateSum(const std::vector<FastTrackState> &V) {
-    size_t Bytes = 0;
-    for (const FastTrackState &S : V)
-      Bytes += S.memoryBytes();
-    return Bytes;
-  }
+  size_t stateSum(const std::vector<FastTrackState> &V) const;
 
   void toFine();
   /// Converts Coarse into a one-segment grid with stride \p K.
@@ -107,12 +122,12 @@ private:
     return R.stride() == 1 && R.begin() <= 0 && R.end() >= Length;
   }
 
-  void opOn(FastTrackState &State, AccessKind K, ThreadId T,
+  void opOn(FastTrackState &State, AccessKind K, Epoch Cur,
             const VectorClock &C, ShadowOpResult &Result);
 
   /// Re-runs apply after a representation change, folding the recursive
   /// result into \p Result.
-  ShadowOpResult reapply(const StridedRange &R, AccessKind K, ThreadId T,
+  ShadowOpResult reapply(const StridedRange &R, AccessKind K, Epoch Cur,
                          const VectorClock &C, ShadowOpResult Result);
 };
 

@@ -1,0 +1,87 @@
+//===- ClockPool.h - Arena of pooled vector clocks --------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A detector-owned arena of VectorClocks addressed by 32-bit indices.
+/// Shadow locations that inflate past epochs (read-shared FastTrack
+/// states, DJIT+ write histories) store pool indices instead of owning
+/// heap-allocated clocks, which shrinks a non-inflated FastTrackState to
+/// a small POD and turns the copy-on-split path of the adaptive array
+/// shadow into a pool clone (DESIGN.md Sec. 8).
+///
+/// Released slots go on a free list and are reused by later allocations,
+/// so refinement churn does not grow the arena without bound. Indices are
+/// stable for the pool's lifetime; the pool never shrinks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_RUNTIME_CLOCKPOOL_H
+#define BIGFOOT_RUNTIME_CLOCKPOOL_H
+
+#include "runtime/VectorClock.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bigfoot {
+
+class ClockPool {
+public:
+  using Index = uint32_t;
+
+  /// "No clock": the empty/deflated state of a pooled slot reference.
+  static constexpr Index kNone = 0xFFFFFFFFu;
+
+  /// A fresh empty clock slot (reusing a released one when available).
+  Index allocate() {
+    if (!FreeList.empty()) {
+      Index I = FreeList.back();
+      FreeList.pop_back();
+      return I;
+    }
+    assert(Slots.size() < kNone && "clock pool index space exhausted");
+    Slots.emplace_back();
+    return static_cast<Index>(Slots.size() - 1);
+  }
+
+  /// A new slot holding a copy of slot \p I (the split path of the
+  /// adaptive array shadow).
+  Index clone(Index I) {
+    assert(I != kNone && "cloning the null clock");
+    Index N = allocate();
+    Slots[N] = Slots[I];
+    return N;
+  }
+
+  /// Returns slot \p I to the free list, dropping its contents.
+  void release(Index I) {
+    assert(I != kNone && I < Slots.size() && "releasing a bad pool index");
+    Slots[I].reset();
+    FreeList.push_back(I);
+  }
+
+  VectorClock &operator[](Index I) {
+    assert(I < Slots.size() && "bad pool index");
+    return Slots[I];
+  }
+  const VectorClock &operator[](Index I) const {
+    assert(I < Slots.size() && "bad pool index");
+    return Slots[I];
+  }
+
+  /// Total slots ever allocated (live + free-listed); bench diagnostics.
+  size_t slotCount() const { return Slots.size(); }
+  size_t freeCount() const { return FreeList.size(); }
+
+private:
+  std::vector<VectorClock> Slots;
+  std::vector<Index> FreeList;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_RUNTIME_CLOCKPOOL_H

@@ -6,16 +6,16 @@
 
 #include "runtime/Detector.h"
 
+#include "runtime/ShadowCosts.h"
 #include "support/LocKey.h"
 
-#include <algorithm>
 #include <cassert>
 
 using namespace bigfoot;
 
 std::string ReportedRace::str() const {
   std::string Where = OnArray ? lockey::arrayRange(Id, Range.str())
-                              : lockey::objField(Id, Field);
+                              : lockey::objField(Id, FieldName);
   const char *KindText = Kind == RaceKind::WriteWrite  ? "write-write"
                          : Kind == RaceKind::WriteRead ? "write-read"
                                                        : "read-write";
@@ -23,35 +23,57 @@ std::string ReportedRace::str() const {
          " vs " + Cur.str() + ")";
 }
 
-ArrayShadow &RaceDetector::shadowFor(ObjectId Arr) {
-  if (ArrayShadow *S = Arrays.find(Arr))
-    return *S;
+ArrayShadow &RaceDetector::shadowFor(ObjectId Arr, ThreadCache &TC) {
+  // Arrays is append-only (cleared never), so a cached index whose entry
+  // still matches Arr is the entry.
+  if (TC.Arr == Arr && TC.ArrIdx < Arrays.size() &&
+      Arrays.item(TC.ArrIdx).Key == Arr)
+    return Arrays.item(TC.ArrIdx).Value;
   // Allocation event missed (e.g. array created before the tool was
   // attached): fall back to an empty array; onArrayAlloc normally runs
   // first.
-  auto [S, IsNew] = Arrays.emplace(Arr, 0, Config.AdaptiveArrayShadow,
-                                   Config.VectorClocksOnly);
-  ArrayBytes += S.memoryBytes();
-  ArrayLocs += S.locationCount();
+  auto [Idx, IsNew] = Arrays.emplaceIdx(Arr, 0, Config.AdaptiveArrayShadow,
+                                        Pool, Config.VectorClocksOnly);
+  ArrayShadow &S = Arrays.item(Idx).Value;
+  if (IsNew) {
+    ArrayBytes += S.memoryBytes();
+    ArrayLocs += S.locationCount();
+  }
+  TC.Arr = Arr;
+  TC.ArrIdx = Idx;
   return S;
 }
 
 void RaceDetector::onArrayAlloc(ObjectId Arr, int64_t Length) {
   auto [S, IsNew] = Arrays.emplace(Arr, Length, Config.AdaptiveArrayShadow,
-                                   Config.VectorClocksOnly);
+                                   Pool, Config.VectorClocksOnly);
   if (IsNew) {
     ArrayBytes += S.memoryBytes();
     ArrayLocs += S.locationCount();
   }
 }
 
-void RaceDetector::report(const ReportedRace &Race) {
-  std::string Key =
-      (Race.OnArray ? "a" : "o") + std::to_string(Race.Id) + "/" +
-      (Race.OnArray ? Race.Range.str() : Race.Field);
+void RaceDetector::report(ReportedRace &&Race) {
+  RaceKey Key;
+  Key.OnArray = Race.OnArray;
+  if (Race.OnArray) {
+    Key.Loc = Race.Id;
+    // StridedRange is canonically normalized, so the numeric triple
+    // deduplicates exactly like the old Range.str() key.
+    Key.Begin = Race.Range.begin();
+    Key.End = Race.Range.end();
+    Key.Stride = Race.Range.stride();
+  } else {
+    Key.Loc = packLoc(Race.Id, Race.Field);
+  }
   if (!RaceKeys.insert(Key).second)
     return;
-  Races.push_back(Race);
+  // First report for this location: now (and only now) materialize the
+  // field name, so str()/racyLocationKeys() stay self-contained even
+  // after the detector is gone.
+  if (!Race.OnArray)
+    Race.FieldName = Syms.name(Race.Field);
+  Races.push_back(std::move(Race));
   Counters.bump("tool.races");
 }
 
@@ -95,49 +117,128 @@ void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
   checkFields(T, Obj, IdScratch.data(), IdScratch.size(), K);
 }
 
+// Folded into both checkFields entry points: one call frame for the whole
+// check keeps the per-access cost at probe + slot-scan + epoch ops.
+[[gnu::always_inline]] inline void RaceDetector::runFieldOp(
+    ObjectId Obj, uint32_t ObjIdx, FieldId Rep, AccessKind K, Epoch Cur,
+    const VectorClock &C, ThreadCache &TC) {
+  ShadowOpsC.bump();
+  ObjShadow &OS = FieldShadow.item(ObjIdx).Value;
+  // The caller resolved Obj, so a matching cached rep names a slot of
+  // this very object; slots are append-only, so the index is stable.
+  uint32_t SlotIdx;
+  if (TC.FieldRep == Rep && TC.FieldSlotIdx < OS.Slots.size() &&
+      OS.Slots[TC.FieldSlotIdx].Rep == Rep) {
+    SlotIdx = TC.FieldSlotIdx;
+  } else {
+    SlotIdx = static_cast<uint32_t>(OS.Slots.size());
+    for (uint32_t I = 0; I != OS.Slots.size(); ++I)
+      if (OS.Slots[I].Rep == Rep) {
+        SlotIdx = I;
+        break;
+      }
+    if (SlotIdx == OS.Slots.size()) {
+      OS.Slots.emplace_back(Rep);
+      FieldBytes += sizeof(FieldSlot);
+      ++FieldLocs;
+    }
+    TC.FieldRep = Rep;
+    TC.FieldSlotIdx = SlotIdx;
+  }
+  FastTrackState &State = OS.Slots[SlotIdx].State;
+  // Epoch-only states stay 24 POD bytes through any epoch-only op, so the
+  // (pool-chasing) byte recount only runs when a pooled clock is in play
+  // before or after the op.
+  bool WasInflated = State.readVc() != ClockPool::kNone ||
+                     State.writeVc() != ClockPool::kNone;
+  size_t Before =
+      WasInflated ? shadowcost::stateBytes(State, Pool) : 0;
+  // DJIT+ keeps every location in vector-clock mode. Deflation never
+  // happens there, so only never-touched locations need forcing.
+  if (Config.VectorClocksOnly && State.writeVc() == ClockPool::kNone) {
+    State.forceVectorClocks(Pool);
+    if (!WasInflated) {
+      WasInflated = true;
+      Before = sizeof(FastTrackState);
+    }
+  }
+  std::optional<RaceInfo> Race = K == AccessKind::Read
+                                     ? State.onRead(Cur, C, Pool)
+                                     : State.onWrite(Cur, C, Pool);
+  if (WasInflated || State.readVc() != ClockPool::kNone) {
+    if (!WasInflated)
+      Before = sizeof(FastTrackState); // Inflated during this op.
+    // Unsigned wrap-around keeps the diff correct when the state shrinks.
+    FieldBytes += shadowcost::stateBytes(State, Pool) - Before;
+  }
+  if (Race) {
+    ReportedRace R;
+    R.Kind = Race->Kind;
+    R.OnArray = false;
+    R.Id = Obj;
+    R.Field = Rep;
+    R.Prev = Race->Prev;
+    R.Cur = Race->Cur;
+    report(std::move(R));
+  }
+}
+
 void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
                                const FieldId *Fields, size_t NumFields,
                                AccessKind K) {
   CheckEventsFieldC.bump();
-  const VectorClock &C = Hb.clockOf(T);
+  auto [C, Cur] = Hb.current(T);
+  ThreadCache &TC = cacheFor(T);
+
+  // Resolve the object once for the whole (possibly coalesced) check.
+  // FieldShadow is append-only, so a cached index whose entry still
+  // matches Obj is the entry.
+  uint32_t ObjIdx;
+  if (TC.FieldObj == Obj && TC.FieldObjIdx < FieldShadow.size() &&
+      FieldShadow.item(TC.FieldObjIdx).Key == Obj) {
+    ObjIdx = TC.FieldObjIdx;
+  } else {
+    auto [Idx, IsNew] = FieldShadow.emplaceIdx(Obj);
+    if (IsNew)
+      FieldBytes += shadowcost::kEntryKeyBytes + sizeof(ObjShadow);
+    ObjIdx = Idx;
+    TC.FieldObj = Obj;
+    TC.FieldObjIdx = Idx;
+    TC.FieldRep = kNoSym; // The slot cache belonged to the old object.
+  }
+
+  if (NumFields == 1) {
+    // The overwhelmingly common shape (and every fully compressed group
+    // after instrumentation): no dedupe pass at all.
+    runFieldOp(Obj, ObjIdx, proxyOf(Fields[0]), K, Cur, C, TC);
+    return;
+  }
+
   // Map fields through the proxy table and deduplicate: a coalesced check
   // on a fully compressed group performs a single shadow operation.
+  // Checks carry a handful of fields at most, so a linear scan beats a
+  // sort — and processing in first-occurrence order keeps the dense slot
+  // arrays in program-order, which the caches like.
   RepScratch.clear();
-  for (size_t I = 0; I != NumFields; ++I)
-    RepScratch.push_back(proxyOf(Fields[I]));
-  std::sort(RepScratch.begin(), RepScratch.end());
-  RepScratch.erase(std::unique(RepScratch.begin(), RepScratch.end()),
-                   RepScratch.end());
-  for (FieldId Rep : RepScratch) {
-    ShadowOpsC.bump();
-    auto [State, IsNew] = FieldShadow.emplace(packLoc(Obj, Rep));
-    size_t Before = IsNew ? 0 : State.memoryBytes();
-    if (IsNew)
-      FieldBytes += kEntryKeyBytes;
-    if (Config.VectorClocksOnly)
-      State.forceVectorClocks();
-    std::optional<RaceInfo> Race =
-        K == AccessKind::Read ? State.onRead(T, C) : State.onWrite(T, C);
-    FieldBytes += State.memoryBytes() - Before;
-    if (Race) {
-      ReportedRace R;
-      R.Kind = Race->Kind;
-      R.OnArray = false;
-      R.Id = Obj;
-      R.Field = Syms.name(Rep);
-      R.Prev = Race->Prev;
-      R.Cur = Race->Cur;
-      report(R);
-    }
+  for (size_t I = 0; I != NumFields; ++I) {
+    FieldId Rep = proxyOf(Fields[I]);
+    bool Seen = false;
+    for (FieldId Prev : RepScratch)
+      Seen |= Prev == Rep;
+    if (!Seen)
+      RepScratch.push_back(Rep);
   }
+  for (FieldId Rep : RepScratch)
+    runFieldOp(Obj, ObjIdx, Rep, K, Cur, C, TC);
 }
 
 void RaceDetector::applyArray(ThreadId T, ObjectId Arr,
                               const StridedRange &R, AccessKind K) {
-  ArrayShadow &Shadow = shadowFor(Arr);
+  auto [C, Cur] = Hb.current(T);
+  ArrayShadow &Shadow = shadowFor(Arr, cacheFor(T));
   size_t BytesBefore = Shadow.memoryBytes();
   size_t LocsBefore = Shadow.locationCount();
-  ShadowOpResult Result = Shadow.apply(R, K, T, Hb.clockOf(T));
+  ShadowOpResult Result = Shadow.apply(R, K, Cur, C);
   // Unsigned wrap-around keeps the diffs correct even when a state
   // shrinks.
   ArrayBytes += Shadow.memoryBytes() - BytesBefore;
@@ -152,7 +253,7 @@ void RaceDetector::applyArray(ThreadId T, ObjectId Arr,
     Rep.Range = R;
     Rep.Prev = Race.Prev;
     Rep.Cur = Race.Cur;
-    report(Rep);
+    report(std::move(Rep));
   }
 }
 
@@ -166,9 +267,23 @@ void RaceDetector::checkArrayRange(ThreadId T, ObjectId Arr,
   // Footprinting: defer to the next synchronization operation (Section 4).
   if (PendingByThread.size() <= T)
     PendingByThread.resize(T + 1);
-  auto [FP, IsNew] = PendingByThread[T].emplace(Arr);
-  if (IsNew)
-    PendingBytes += kEntryKeyBytes;
+  FlatMap<Footprint> &Map = PendingByThread[T];
+  ThreadCache &TC = cacheFor(T);
+  // Pending maps are cleared wholesale at commits, so the cached index
+  // must re-match both bounds and key before use.
+  uint32_t FpIdx;
+  if (TC.PendArr == Arr && TC.PendIdx < Map.size() &&
+      Map.item(TC.PendIdx).Key == Arr) {
+    FpIdx = TC.PendIdx;
+  } else {
+    auto [Idx, IsNew] = Map.emplaceIdx(Arr);
+    if (IsNew)
+      PendingBytes += shadowcost::kEntryKeyBytes;
+    FpIdx = Idx;
+    TC.PendArr = Arr;
+    TC.PendIdx = Idx;
+  }
+  Footprint &FP = Map.item(FpIdx).Value;
   size_t FragsBefore = FP.Reads.fragments() + FP.Writes.fragments();
   (K == AccessKind::Read ? FP.Reads : FP.Writes).add(R);
   FootprintAddsC.bump();
@@ -178,6 +293,7 @@ void RaceDetector::checkArrayRange(ThreadId T, ObjectId Arr,
   // committing early is always sound (the checks stay inside the same
   // release-free span) and keeps footprint maintenance linear.
   if (Frags > 32) {
+    // applyArray touches no pending map, so FP stays valid across it.
     for (const StridedRange &Range : FP.Writes.ranges())
       applyArray(T, Arr, Range, AccessKind::Write);
     for (const StridedRange &Range : FP.Reads.ranges())
@@ -202,9 +318,10 @@ void RaceDetector::commitFootprints(ThreadId T) {
     for (const StridedRange &R : Entry.Value.Reads.ranges())
       applyArray(T, Entry.Key, R, AccessKind::Read);
     CommitsC.bump();
-    PendingBytes -= kEntryKeyBytes + (Entry.Value.Reads.fragments() +
-                                      Entry.Value.Writes.fragments()) *
-                                         sizeof(StridedRange);
+    PendingBytes -= shadowcost::kEntryKeyBytes +
+                    (Entry.Value.Reads.fragments() +
+                     Entry.Value.Writes.fragments()) *
+                        sizeof(StridedRange);
   }
   Map.clear();
 }
@@ -259,27 +376,36 @@ std::set<std::string> RaceDetector::racyLocationKeys() const {
     if (R.OnArray)
       Keys.insert(lockey::array(R.Id));
     else
-      Keys.insert(lockey::objField(R.Id, R.Field));
+      Keys.insert(lockey::objField(R.Id, R.FieldName));
   }
   return Keys;
 }
 
 size_t RaceDetector::auditShadowBytes() const {
   size_t Bytes = Hb.auditMemoryBytes();
-  for (const auto &Entry : FieldShadow)
-    Bytes += kEntryKeyBytes + Entry.Value.memoryBytes();
+  for (const auto &Entry : FieldShadow) {
+    Bytes += shadowcost::kEntryKeyBytes + sizeof(ObjShadow);
+    for (const FieldSlot &S : Entry.Value.Slots)
+      // The slot plus the pooled clocks behind it; expressed through the
+      // one stateBytes() model so incremental and audit cannot diverge.
+      Bytes += sizeof(FieldSlot) - sizeof(FastTrackState) +
+               shadowcost::stateBytes(S.State, Pool);
+  }
   for (const auto &Entry : Arrays)
     Bytes += Entry.Value.auditMemoryBytes();
   for (const FlatMap<Footprint> &Map : PendingByThread)
     for (const auto &Entry : Map)
-      Bytes += kEntryKeyBytes + (Entry.Value.Reads.fragments() +
-                                 Entry.Value.Writes.fragments()) *
-                                    sizeof(StridedRange);
+      Bytes += shadowcost::kEntryKeyBytes +
+               (Entry.Value.Reads.fragments() +
+                Entry.Value.Writes.fragments()) *
+                   sizeof(StridedRange);
   return Bytes;
 }
 
 size_t RaceDetector::auditShadowLocationCount() const {
-  size_t N = FieldShadow.size();
+  size_t N = 0;
+  for (const auto &Entry : FieldShadow)
+    N += Entry.Value.Slots.size();
   for (const auto &Entry : Arrays)
     N += Entry.Value.locationCount();
   return N;

@@ -18,12 +18,18 @@
 /// Check placement (which checks arrive here at all) is the instrumenter's
 /// job; see src/instrument.
 ///
-/// The event interface works on interned ids (support/Symbol.h): field
-/// checks carry FieldIds, shadow locations are packed (object, field) ids
-/// in flat hash tables, and strings appear only in race reports. Shadow
-/// memory and location censuses are maintained incrementally, so
-/// shadowBytes()/shadowLocationCount() are O(1); the audit variants walk
-/// everything and must agree (asserted by the accounting test).
+/// The event interface works on interned ids (support/Symbol.h) and the
+/// shadow representation is cache-conscious (DESIGN.md Sec. 8): field
+/// shadows are grouped per object in dense slot arrays, so a coalesced
+/// check on N fields of one object resolves the object once — through a
+/// per-thread last-slot cache in the common repeated-access case — and
+/// then walks slots without further hash probes; inflated clocks live in
+/// a detector-owned ClockPool; races deduplicate on packed numeric keys.
+/// Strings appear only when a race is actually reported. Shadow memory
+/// and location censuses are maintained incrementally through the single
+/// byte-cost model in ShadowCosts.h, so shadowBytes()/
+/// shadowLocationCount() are O(1); the audit variants walk everything and
+/// must agree (asserted by the accounting test).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,13 +37,13 @@
 #define BIGFOOT_RUNTIME_DETECTOR_H
 
 #include "runtime/ArrayShadow.h"
+#include "runtime/ClockPool.h"
 #include "runtime/HbState.h"
 #include "support/FlatMap.h"
 #include "support/Stats.h"
 #include "support/Symbol.h"
 
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -64,7 +70,9 @@ struct ReportedRace {
   RaceKind Kind;
   bool OnArray = false;
   ObjectId Id = 0;
-  std::string Field;       ///< Field (or proxy representative) for objects.
+  FieldId Field = kNoSym;  ///< Proxy-representative id (objects).
+  std::string FieldName;   ///< Rendered from Field at report time; the
+                           ///< hot path never touches strings.
   StridedRange Range;      ///< Checked range for arrays.
   Epoch Prev, Cur;
 
@@ -100,7 +108,8 @@ public:
 
   //===--- Check events ------------------------------------------------------
   /// A (possibly coalesced) field check on \p NumFields interned fields of
-  /// \p Obj. The hot entry point: no strings touched.
+  /// \p Obj. The hot entry point: no strings touched, one object
+  /// resolution for the whole group.
   void checkFields(ThreadId T, ObjectId Obj, const FieldId *Fields,
                    size_t NumFields, AccessKind K);
 
@@ -143,9 +152,7 @@ public:
   size_t shadowBytes() const {
     return Hb.memoryBytes() + FieldBytes + ArrayBytes + PendingBytes;
   }
-  size_t shadowLocationCount() const {
-    return FieldShadow.size() + ArrayLocs;
-  }
+  size_t shadowLocationCount() const { return FieldLocs + ArrayLocs; }
 
   /// Full-walk recomputations of the two censuses; must always equal the
   /// O(1) accessors (asserted by the accounting test).
@@ -158,10 +165,11 @@ public:
   /// Unthrottled sample, for run end / thread exit.
   void sampleMemoryNow();
 
-private:
-  /// Accounted per-entry key overhead in the flat shadow tables.
-  static constexpr size_t kEntryKeyBytes = sizeof(uint64_t);
+  /// The arena backing every inflated clock of this detector's shadow
+  /// locations (bench/test introspection).
+  const ClockPool &clockPool() const { return Pool; }
 
+private:
   DetectorConfig Config;
   Stats &Counters;
   /// This detector's field-id namespace (a copy of the host program's
@@ -169,9 +177,29 @@ private:
   /// bare).
   SymbolTable Syms;
   HbState Hb;
+  /// Arena for every inflated clock held by field, array, and footprint
+  /// shadow state.
+  ClockPool Pool;
 
-  /// Keyed by packLoc(Obj, proxy representative id).
-  FlatMap<FastTrackState> FieldShadow;
+  /// One field shadow location: the proxy-representative id it covers and
+  /// its FastTrack state, laid out contiguously in the per-object slot
+  /// array.
+  struct FieldSlot {
+    FieldId Rep;
+    FastTrackState State;
+    explicit FieldSlot(FieldId Rep) : Rep(Rep) {}
+  };
+
+  /// Dense per-object slot array: a coalesced check resolves the object
+  /// once, then finds each field by a short linear scan (objects have a
+  /// handful of proxy groups at most).
+  struct ObjShadow {
+    std::vector<FieldSlot> Slots;
+  };
+
+  /// Keyed by object id; slots inside are keyed by proxy-representative
+  /// id in first-touch order.
+  FlatMap<ObjShadow> FieldShadow;
   FlatMap<ArrayShadow> Arrays;
 
   /// Per-thread pending array footprints (read and write separately).
@@ -183,16 +211,54 @@ private:
   /// insertion order and clears the map wholesale.
   std::vector<FlatMap<Footprint>> PendingByThread;
 
+  /// Per-thread last-resolved caches for the tight read-modify-write
+  /// loops the benchmarks exercise. Indices are validated against the
+  /// target map's current contents before use, so clear()/growth never
+  /// needs explicit invalidation.
+  struct ThreadCache {
+    ObjectId FieldObj = ~uint64_t(0);
+    uint32_t FieldObjIdx = 0;
+    FieldId FieldRep = kNoSym;
+    uint32_t FieldSlotIdx = 0;
+    ObjectId Arr = ~uint64_t(0);
+    uint32_t ArrIdx = 0;
+    ObjectId PendArr = ~uint64_t(0);
+    uint32_t PendIdx = 0;
+  };
+  std::vector<ThreadCache> TCaches;
+
   /// FieldId -> proxy representative id (identity where no proxy
   /// applies), extended lazily as ids appear.
   std::vector<FieldId> ProxyById;
 
+  /// Packed numeric race-dedup key: no strings on the (hot) duplicate
+  /// path. Object races key on packLoc(obj, rep); array races on the
+  /// array id plus the canonical checked range.
+  struct RaceKey {
+    uint64_t Loc = 0;
+    int64_t Begin = 0, End = 0, Stride = 0;
+    bool OnArray = false;
+
+    bool operator<(const RaceKey &O) const {
+      if (OnArray != O.OnArray)
+        return OnArray < O.OnArray;
+      if (Loc != O.Loc)
+        return Loc < O.Loc;
+      if (Begin != O.Begin)
+        return Begin < O.Begin;
+      if (End != O.End)
+        return End < O.End;
+      return Stride < O.Stride;
+    }
+  };
+
   std::vector<ReportedRace> Races;
-  std::set<std::string> RaceKeys;
+  std::set<RaceKey> RaceKeys;
   uint64_t MemorySampleTick = 0;
 
   // Incremental censuses behind shadowBytes()/shadowLocationCount().
   size_t FieldBytes = 0;
+  size_t FieldLocs = 0;
   size_t ArrayBytes = 0;
   size_t ArrayLocs = 0;
   size_t PendingBytes = 0;
@@ -211,6 +277,12 @@ private:
   HotCounter EarlyCommitsC{Counters, "tool.earlyCommits"};
   HotCounter CommitsC{Counters, "tool.commits"};
 
+  ThreadCache &cacheFor(ThreadId T) {
+    if (T >= TCaches.size())
+      TCaches.resize(T + 1);
+    return TCaches[T];
+  }
+
   /// The proxy representative for \p F: an indexed load when \p F was
   /// known at attach time, lazy resolution for later-interned ids.
   FieldId proxyOf(FieldId F);
@@ -218,6 +290,11 @@ private:
   /// Resolves ProxyById for every currently interned id (constructor,
   /// when seeded with the host program's symbol table).
   void resolveProxyTable();
+
+  /// One shadow operation on the slot for \p Rep of the object at dense
+  /// index \p ObjIdx (already resolved).
+  void runFieldOp(ObjectId Obj, uint32_t ObjIdx, FieldId Rep, AccessKind K,
+                  Epoch Cur, const VectorClock &C, ThreadCache &TC);
 
   /// Applies a range directly to the array shadow.
   void applyArray(ThreadId T, ObjectId Arr, const StridedRange &R,
@@ -227,9 +304,9 @@ private:
   /// synchronization operation by that thread).
   void commitFootprints(ThreadId T);
 
-  void report(const ReportedRace &Race);
+  void report(ReportedRace &&Race);
 
-  ArrayShadow &shadowFor(ObjectId Arr);
+  ArrayShadow &shadowFor(ObjectId Arr, ThreadCache &TC);
 };
 
 //===--- The five paper configurations ---------------------------------------

@@ -6,97 +6,78 @@
 
 #include "runtime/FastTrackState.h"
 
-#include <memory>
 #include <sstream>
 
 using namespace bigfoot;
 
-FastTrackState::FastTrackState(const FastTrackState &Other)
-    : W(Other.W), R(Other.R) {
-  if (Other.SharedRead)
-    SharedRead = std::make_unique<VectorClock>(*Other.SharedRead);
-  if (Other.SharedWrite)
-    SharedWrite = std::make_unique<VectorClock>(*Other.SharedWrite);
-}
-
-FastTrackState &FastTrackState::operator=(const FastTrackState &Other) {
-  if (this == &Other)
-    return *this;
-  W = Other.W;
-  R = Other.R;
-  SharedRead =
-      Other.SharedRead ? std::make_unique<VectorClock>(*Other.SharedRead)
-                       : nullptr;
-  SharedWrite =
-      Other.SharedWrite ? std::make_unique<VectorClock>(*Other.SharedWrite)
-                        : nullptr;
-  return *this;
-}
-
-void FastTrackState::forceVectorClocks() {
-  if (!SharedRead) {
-    SharedRead = std::make_unique<VectorClock>();
+void FastTrackState::forceVectorClocks(ClockPool &Pool) {
+  if (ReadVc == ClockPool::kNone) {
+    ReadVc = Pool.allocate();
     if (!R.isBottom())
-      SharedRead->set(R.Tid, R.Clock);
+      Pool[ReadVc].set(R.tid(), R.clock());
     R = Epoch();
   }
-  if (!SharedWrite) {
-    SharedWrite = std::make_unique<VectorClock>();
+  if (WriteVc == ClockPool::kNone) {
+    WriteVc = Pool.allocate();
     if (!W.isBottom())
-      SharedWrite->set(W.Tid, W.Clock);
+      Pool[WriteVc].set(W.tid(), W.clock());
   }
 }
 
-std::optional<RaceInfo> FastTrackState::onRead(ThreadId T,
-                                               const VectorClock &C) {
-  Epoch Cur = C.epochOf(T);
-  // Same-epoch fast path.
-  if (!SharedRead && R == Cur)
-    return std::nullopt;
+std::optional<RaceInfo> FastTrackState::onReadSlow(Epoch Cur,
+                                                   const VectorClock &C,
+                                                   ClockPool &Pool) {
+  ThreadId T = Cur.tid();
   // Write-read conflict.
-  if (SharedWrite) {
-    for (ThreadId U = 0; U < SharedWrite->size(); ++U) {
-      uint64_t WC = SharedWrite->get(U);
-      if (U != T && WC != 0 && WC > C.get(U))
-        return RaceInfo{RaceKind::WriteRead, Epoch{U, WC}, Cur};
+  if (WriteVc != ClockPool::kNone) {
+    const VectorClock &WC = Pool[WriteVc];
+    for (ThreadId U = 0; U < WC.size(); ++U) {
+      uint64_t W0 = WC.get(U);
+      if (U != T && W0 != 0 && W0 > C.get(U))
+        return RaceInfo{RaceKind::WriteRead, Epoch(U, W0), Cur};
     }
   } else if (!W.isBottom() && !C.covers(W)) {
     return RaceInfo{RaceKind::WriteRead, W, Cur};
   }
-  if (SharedRead) {
-    SharedRead->set(T, Cur.Clock);
+  if (ReadVc != ClockPool::kNone) {
+    Pool[ReadVc].set(T, Cur.clock());
     return std::nullopt;
   }
   // Exclusive read: keep the epoch when the previous reader is ordered.
-  if (R.isBottom() || R.Tid == T || C.covers(R)) {
+  if (R.isBottom() || R.tid() == T || C.covers(R)) {
     R = Cur;
     return std::nullopt;
   }
-  // Inflate to read-shared.
-  SharedRead = std::make_unique<VectorClock>();
-  SharedRead->set(R.Tid, R.Clock);
-  SharedRead->set(T, Cur.Clock);
+  // Inflate to read-shared: the clock moves into the pool.
+  ReadVc = Pool.allocate();
+  VectorClock &RC = Pool[ReadVc];
+  RC.set(R.tid(), R.clock());
+  RC.set(T, Cur.clock());
   R = Epoch();
   return std::nullopt;
 }
 
-std::optional<RaceInfo> FastTrackState::onWrite(ThreadId T,
-                                                const VectorClock &C) {
-  Epoch Cur = C.epochOf(T);
-  if (SharedWrite) {
+std::optional<RaceInfo> FastTrackState::onWriteSlow(Epoch Cur,
+                                                    const VectorClock &C,
+                                                    ClockPool &Pool) {
+  ThreadId T = Cur.tid();
+  if (WriteVc != ClockPool::kNone) {
     // DJIT+ mode: full clock comparison on both histories.
-    for (ThreadId U = 0; U < SharedWrite->size(); ++U) {
-      uint64_t WC = SharedWrite->get(U);
-      if (U != T && WC != 0 && WC > C.get(U))
-        return RaceInfo{RaceKind::WriteWrite, Epoch{U, WC}, Cur};
+    VectorClock &WC = Pool[WriteVc];
+    for (ThreadId U = 0; U < WC.size(); ++U) {
+      uint64_t W0 = WC.get(U);
+      if (U != T && W0 != 0 && W0 > C.get(U))
+        return RaceInfo{RaceKind::WriteWrite, Epoch(U, W0), Cur};
     }
-    if (SharedRead)
-      for (ThreadId U = 0; U < SharedRead->size(); ++U) {
-        uint64_t RC = SharedRead->get(U);
-        if (U != T && RC != 0 && RC > C.get(U))
-          return RaceInfo{RaceKind::ReadWrite, Epoch{U, RC}, Cur};
+    if (ReadVc != ClockPool::kNone) {
+      const VectorClock &RC = Pool[ReadVc];
+      for (ThreadId U = 0; U < RC.size(); ++U) {
+        uint64_t R0 = RC.get(U);
+        if (U != T && R0 != 0 && R0 > C.get(U))
+          return RaceInfo{RaceKind::ReadWrite, Epoch(U, R0), Cur};
       }
-    SharedWrite->set(T, Cur.Clock);
+    }
+    WC.set(T, Cur.clock());
     return std::nullopt;
   }
   // Same-epoch fast path.
@@ -104,14 +85,18 @@ std::optional<RaceInfo> FastTrackState::onWrite(ThreadId T,
     return std::nullopt;
   if (!W.isBottom() && !C.covers(W))
     return RaceInfo{RaceKind::WriteWrite, W, Cur};
-  if (SharedRead) {
+  if (ReadVc != ClockPool::kNone) {
     // Every previous reader must happen-before this write.
-    for (ThreadId U = 0; U < SharedRead->size(); ++U) {
-      uint64_t RC = SharedRead->get(U);
-      if (RC != 0 && RC > C.get(U))
-        return RaceInfo{RaceKind::ReadWrite, Epoch{U, RC}, Cur};
+    const VectorClock &RC = Pool[ReadVc];
+    for (ThreadId U = 0; U < RC.size(); ++U) {
+      uint64_t R0 = RC.get(U);
+      if (R0 != 0 && R0 > C.get(U))
+        return RaceInfo{RaceKind::ReadWrite, Epoch(U, R0), Cur};
     }
-    SharedRead = nullptr;
+    // Deflate: the write dominates all readers; the slot goes back to the
+    // pool's free list.
+    Pool.release(ReadVc);
+    ReadVc = ClockPool::kNone;
   } else if (!R.isBottom() && !C.covers(R)) {
     return RaceInfo{RaceKind::ReadWrite, R, Cur};
   }
@@ -120,22 +105,13 @@ std::optional<RaceInfo> FastTrackState::onWrite(ThreadId T,
   return std::nullopt;
 }
 
-size_t FastTrackState::memoryBytes() const {
-  size_t Bytes = sizeof(FastTrackState);
-  if (SharedRead)
-    Bytes += sizeof(VectorClock) + SharedRead->size() * sizeof(uint64_t);
-  if (SharedWrite)
-    Bytes += sizeof(VectorClock) + SharedWrite->size() * sizeof(uint64_t);
-  return Bytes;
-}
-
 std::string VectorClock::str() const {
   std::ostringstream OS;
   OS << "<";
-  for (size_t I = 0; I < Clocks.size(); ++I) {
+  for (size_t I = 0; I < size(); ++I) {
     if (I)
       OS << ",";
-    OS << Clocks[I];
+    OS << get(static_cast<ThreadId>(I));
   }
   OS << ">";
   return OS.str();

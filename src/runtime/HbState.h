@@ -15,15 +15,22 @@
 /// incremental byte census so memoryBytes() is O(1); auditMemoryBytes()
 /// recomputes it by a full walk for the accounting test.
 ///
+/// Each thread's packed current epoch c@t is cached and invalidated only
+/// when its clock entry is incremented (a thread's own component never
+/// rises through a join — vector-clock invariant), so the detector reads
+/// one word per check event instead of recomputing epochOf per shadow op.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BIGFOOT_RUNTIME_HBSTATE_H
 #define BIGFOOT_RUNTIME_HBSTATE_H
 
+#include "runtime/ShadowCosts.h"
 #include "runtime/VectorClock.h"
 #include "support/FlatMap.h"
 #include "support/Symbol.h"
 
+#include <cassert>
 #include <vector>
 
 namespace bigfoot {
@@ -39,14 +46,39 @@ public:
     if (T >= Threads.size()) {
       TrackedBytes += (T + 1 - Threads.size()) * sizeof(VectorClock);
       Threads.resize(T + 1);
+      Epochs.resize(T + 1);
     }
     VectorClock &C = Threads[T];
     if (C.get(T) == 0) {
-      size_t Before = clockBytes(C);
+      size_t Before = shadowcost::clockBytes(C);
       C.set(T, 1); // Clocks start at 1; 0 is the bottom epoch.
-      TrackedBytes += clockBytes(C) - Before;
+      Epochs[T] = Epoch(T, 1);
+      TrackedBytes += shadowcost::clockBytes(C) - Before;
     }
     return C;
+  }
+
+  /// The cached packed epoch c@t of thread \p T — one vector load on the
+  /// check-event hot path. Valid until the thread's next increment.
+  Epoch epochOf(ThreadId T) {
+    clockOf(T); // Ensure initialized.
+    assert(Epochs[T].clock() == Threads[T].get(T) &&
+           "stale cached epoch: own clock entry changed outside bump()");
+    return Epochs[T];
+  }
+
+  /// The clock and cached epoch of \p T behind a single initialization
+  /// check — check events need both, and a non-bottom cached epoch
+  /// certifies the thread's clock is live (clocks start at 1).
+  struct ThreadView {
+    const VectorClock &C;
+    Epoch Cur;
+  };
+  ThreadView current(ThreadId T) {
+    if (T < Threads.size() && !Epochs[T].isBottom())
+      return {Threads[T], Epochs[T]};
+    const VectorClock &C = clockOf(T);
+    return {C, Epochs[T]};
   }
 
   void onAcquire(ThreadId T, ObjectId Lock) {
@@ -57,7 +89,7 @@ public:
   void onRelease(ThreadId T, ObjectId Lock) {
     VectorClock &C = clockOf(T);
     assignEntry(entry(LockClocks, Lock), C);
-    C.increment(T);
+    bump(C, T);
   }
 
   /// Volatile write = release to the volatile's clock; volatile read =
@@ -65,7 +97,7 @@ public:
   void onVolatileWrite(ThreadId T, ObjectId Obj, FieldId Field) {
     VectorClock &C = clockOf(T);
     assignEntry(entry(VolatileClocks, packLoc(Obj, Field)), C);
-    C.increment(T);
+    bump(C, T);
   }
 
   void onVolatileRead(ThreadId T, ObjectId Obj, FieldId Field) {
@@ -78,7 +110,7 @@ public:
     // invalidate references.
     VectorClock P = clockOf(Parent);
     joinInto(clockOf(Child), P);
-    clockOf(Parent).increment(Parent);
+    bump(clockOf(Parent), Parent);
   }
 
   void onThreadExit(ThreadId T) {
@@ -99,7 +131,7 @@ public:
     for (ThreadId T : Parties) {
       VectorClock &C = clockOf(T);
       joinInto(C, Joined);
-      C.increment(T);
+      bump(C, T);
     }
   }
 
@@ -111,11 +143,11 @@ public:
   size_t auditMemoryBytes() const {
     size_t Bytes = 0;
     for (const VectorClock &C : Threads)
-      Bytes += clockBytes(C);
+      Bytes += shadowcost::clockBytes(C);
     auto MapBytes = [](const FlatMap<VectorClock> &Map) {
       size_t B = 0;
       for (const auto &Item : Map)
-        B += kEntryKeyBytes + clockBytes(Item.Value);
+        B += shadowcost::kEntryKeyBytes + shadowcost::clockBytes(Item.Value);
       return B;
     };
     return Bytes + MapBytes(LockClocks) + MapBytes(VolatileClocks) +
@@ -123,9 +155,9 @@ public:
   }
 
 private:
-  static constexpr size_t kEntryKeyBytes = sizeof(uint64_t);
-
   std::vector<VectorClock> Threads;
+  /// Cached packed epoch per thread, refreshed only by bump()/init.
+  std::vector<Epoch> Epochs;
   FlatMap<VectorClock> LockClocks;
   /// Keyed by packLoc(Obj, FieldId).
   FlatMap<VectorClock> VolatileClocks;
@@ -133,8 +165,11 @@ private:
   FlatMap<VectorClock> FinalClocks;
   size_t TrackedBytes = 0;
 
-  static size_t clockBytes(const VectorClock &C) {
-    return sizeof(VectorClock) + C.size() * sizeof(uint64_t);
+  /// Increments \p T's own clock entry and refreshes the cached epoch —
+  /// the only way a thread's own component ever changes.
+  void bump(VectorClock &C, ThreadId T) {
+    C.increment(T);
+    Epochs[T] = Epoch(T, C.get(T));
   }
 
   /// The release clock stored under \p Key, inserting (and accounting for)
@@ -143,22 +178,22 @@ private:
   VectorClock &entry(FlatMap<VectorClock> &Map, uint64_t Key) {
     auto [C, IsNew] = Map.emplace(Key);
     if (IsNew)
-      TrackedBytes += kEntryKeyBytes + clockBytes(C);
+      TrackedBytes += shadowcost::kEntryKeyBytes + shadowcost::clockBytes(C);
     return C;
   }
 
   /// C.joinWith(Other) with byte accounting (the join may grow C).
   void joinInto(VectorClock &C, const VectorClock &Other) {
-    size_t Before = clockBytes(C);
+    size_t Before = shadowcost::clockBytes(C);
     C.joinWith(Other);
-    TrackedBytes += clockBytes(C) - Before;
+    TrackedBytes += shadowcost::clockBytes(C) - Before;
   }
 
   /// Dest = Src with byte accounting.
   void assignEntry(VectorClock &Dest, const VectorClock &Src) {
-    size_t Before = clockBytes(Dest);
+    size_t Before = shadowcost::clockBytes(Dest);
     Dest = Src;
-    TrackedBytes += clockBytes(Dest) - Before;
+    TrackedBytes += shadowcost::clockBytes(Dest) - Before;
   }
 };
 

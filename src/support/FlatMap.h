@@ -27,6 +27,7 @@
 #define BIGFOOT_SUPPORT_FLATMAP_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -63,20 +64,38 @@ public:
   /// matching std::map::try_emplace).
   template <typename... ArgTys>
   std::pair<V &, bool> emplace(uint64_t Key, ArgTys &&...Args) {
+    auto [Idx, IsNew] = emplaceIdx(Key, std::forward<ArgTys>(Args)...);
+    return {Items[Idx].Value, IsNew};
+  }
+
+  /// Like emplace(), but returns the dense item index instead of a
+  /// reference. Items are append-only (clear() drops them all at once),
+  /// so an index stays valid — and keeps naming the same key — until the
+  /// next clear(); callers cache indices across insertions where a
+  /// reference would dangle (the detector's per-thread slot caches).
+  template <typename... ArgTys>
+  std::pair<uint32_t, bool> emplaceIdx(uint64_t Key, ArgTys &&...Args) {
     if ((Items.size() + 1) * 4 > Buckets.size() * 3)
       grow();
     size_t Mask = Buckets.size() - 1;
     for (size_t I = mix(Key) & Mask;; I = (I + 1) & Mask) {
       uint32_t Slot = Buckets[I];
       if (Slot == 0) {
-        Buckets[I] = static_cast<uint32_t>(Items.size()) + 1;
+        uint32_t Idx = static_cast<uint32_t>(Items.size());
+        Buckets[I] = Idx + 1;
         Items.push_back(Item{Key, V(std::forward<ArgTys>(Args)...)});
-        return {Items.back().Value, true};
+        return {Idx, true};
       }
       if (Items[Slot - 1].Key == Key)
-        return {Items[Slot - 1].Value, false};
+        return {Slot - 1, false};
     }
   }
+
+  /// The item at dense index \p I (insertion order). Bounds-checked by
+  /// the vector's assertions only; pair with a key check when validating
+  /// a cached index against a map that may have been clear()ed.
+  Item &item(size_t I) { return Items[I]; }
+  const Item &item(size_t I) const { return Items[I]; }
 
   /// Drops all entries but keeps both allocations for reuse.
   void clear() {

@@ -155,6 +155,20 @@ int64_t RangeSet::cardinality() const {
 void RangeSet::add(const StridedRange &R) {
   if (R.empty())
     return;
+  // Sequential-append fast path: footprints are overwhelmingly built by
+  // unit-stride streams that extend the last fragment (singleton(I),
+  // singleton(I+1), ...). Extending the tail in place keeps order and
+  // disjointness — it is the last fragment — and skips the
+  // search/erase/insert machinery below.
+  if (!Ranges.empty()) {
+    StridedRange &Last = Ranges.back();
+    if (R.stride() == 1 && Last.stride() == 1 && R.begin() >= Last.begin() &&
+        R.begin() <= Last.end()) {
+      if (R.end() > Last.end())
+        Last = StridedRange(Last.begin(), R.end());
+      return;
+    }
+  }
   StridedRange Pending = R;
   // Merge with order-adjacent fragments only: footprints are built from
   // sequential or strided access streams, where the mergeable fragment is

@@ -151,8 +151,9 @@ namespace {
 void replayAndCompare(uint64_t Seed) {
   Rng R(Seed);
   const int64_t Len = 48;
-  ArrayShadow Adaptive(Len, /*Adaptive=*/true);
-  ArrayShadow Fine(Len, /*Adaptive=*/false);
+  ClockPool Pool;
+  ArrayShadow Adaptive(Len, /*Adaptive=*/true, Pool);
+  ArrayShadow Fine(Len, /*Adaptive=*/false, Pool);
 
   VectorClock Clocks[3];
   for (ThreadId T = 0; T < 3; ++T)

@@ -1,0 +1,201 @@
+//===- FastTrackStateTest.cpp - Pool-backed FastTrack state tests ----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Focused tests for the pool-backed FastTrackState representation
+// (DESIGN.md Sec. 8): read inflation and epoch retention, DJIT+
+// forced-vector-clock parity with the adaptive representation, and the
+// clone/reset pool semantics the adaptive array shadow's copy-on-split
+// path depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Path.h"
+#include "runtime/ClockPool.h"
+#include "runtime/FastTrackState.h"
+#include "runtime/ShadowCosts.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace bigfoot;
+
+namespace {
+
+/// Three threads: T1 and T2 are concurrent readers; TSync covers both
+/// earlier reads (as if it acquired from both).
+struct Threads {
+  ClockPool Pool;
+  VectorClock T0, T1, T2, TSync;
+  Threads() {
+    T0.set(0, 1);
+    T1.set(1, 1);
+    T2.set(2, 1);
+    TSync.set(0, 2);
+    TSync.set(1, 1);
+    TSync.set(2, 1);
+  }
+};
+
+} // namespace
+
+TEST(FastTrackState, ExclusiveReadInflatesOnConcurrentReader) {
+  Threads C;
+  FastTrackState S;
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  // Exclusive: still an epoch, no pool slot.
+  EXPECT_FALSE(S.isReadShared());
+  EXPECT_EQ(S.readEpoch(), Epoch(1, 1));
+  // A concurrent second reader inflates to a shared read clock holding
+  // both readers' entries.
+  EXPECT_FALSE(S.onRead(2, C.T2, C.Pool).has_value());
+  ASSERT_TRUE(S.isReadShared());
+  EXPECT_TRUE(S.readEpoch().isBottom());
+  const VectorClock &RC = C.Pool[S.readVc()];
+  EXPECT_EQ(RC.get(1), 1u);
+  EXPECT_EQ(RC.get(2), 1u);
+}
+
+TEST(FastTrackState, OrderedReaderKeepsEpochRepresentation) {
+  Threads C;
+  FastTrackState S;
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  // TSync's clock covers the previous read 1@1: the state stays an
+  // epoch (now the new reader's) instead of inflating.
+  EXPECT_FALSE(S.onRead(0, C.TSync, C.Pool).has_value());
+  EXPECT_FALSE(S.isReadShared());
+  EXPECT_EQ(S.readEpoch(), Epoch(0, 2));
+  // A same-thread re-read keeps the epoch too — no ordering needed when
+  // the new reader is the epoch's own thread.
+  VectorClock T0Later;
+  T0Later.set(0, 3);
+  EXPECT_FALSE(S.onRead(0, T0Later, C.Pool).has_value());
+  EXPECT_FALSE(S.isReadShared());
+  EXPECT_EQ(S.readEpoch(), Epoch(0, 3));
+}
+
+TEST(FastTrackState, OrderedWriteDeflatesSharedReads) {
+  Threads C;
+  FastTrackState S;
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  EXPECT_FALSE(S.onRead(2, C.T2, C.Pool).has_value());
+  ASSERT_TRUE(S.isReadShared());
+  // A write ordered after every reader deflates back to epochs and
+  // returns the read clock's slot to the pool free list.
+  size_t FreeBefore = C.Pool.freeCount();
+  EXPECT_FALSE(S.onWrite(0, C.TSync, C.Pool).has_value());
+  EXPECT_FALSE(S.isReadShared());
+  EXPECT_EQ(S.writeEpoch(), Epoch(0, 2));
+  EXPECT_EQ(C.Pool.freeCount(), FreeBefore + 1);
+}
+
+TEST(FastTrackState, DjitForcedClocksMatchAdaptiveRaces) {
+  // The same access sequences must produce the same verdicts whether the
+  // state runs FastTrack's adaptive epochs or DJIT+'s forced clocks.
+  struct Access {
+    AccessKind K;
+    ThreadId T;
+  };
+  const std::vector<std::vector<Access>> Sequences = {
+      // Write-write race.
+      {{AccessKind::Write, 1}, {AccessKind::Write, 2}},
+      // Write-read race.
+      {{AccessKind::Write, 1}, {AccessKind::Read, 2}},
+      // Read-write race (exclusive reader).
+      {{AccessKind::Read, 1}, {AccessKind::Write, 2}},
+      // Read-write race out of a shared read set.
+      {{AccessKind::Read, 1}, {AccessKind::Read, 2}, {AccessKind::Write, 2}},
+      // Race-free same-thread churn.
+      {{AccessKind::Write, 1}, {AccessKind::Read, 1}, {AccessKind::Write, 1}},
+  };
+  for (const auto &Seq : Sequences) {
+    Threads C;
+    FastTrackState Adaptive, Forced;
+    Forced.forceVectorClocks(C.Pool);
+    for (const Access &A : Seq) {
+      const VectorClock &Clock = A.T == 1 ? C.T1 : C.T2;
+      auto RunOn = [&](FastTrackState &S) {
+        return A.K == AccessKind::Read ? S.onRead(A.T, Clock, C.Pool)
+                                       : S.onWrite(A.T, Clock, C.Pool);
+      };
+      auto RA = RunOn(Adaptive);
+      auto RF = RunOn(Forced);
+      ASSERT_EQ(RA.has_value(), RF.has_value());
+      if (RA) {
+        EXPECT_EQ(RA->Kind, RF->Kind);
+        EXPECT_EQ(RA->Cur, RF->Cur);
+      }
+    }
+  }
+}
+
+TEST(FastTrackState, ForcedClocksStayInflated) {
+  Threads C;
+  FastTrackState S;
+  S.forceVectorClocks(C.Pool);
+  ASSERT_NE(S.readVc(), ClockPool::kNone);
+  ASSERT_NE(S.writeVc(), ClockPool::kNone);
+  // Ordered accesses never deflate a DJIT+ state.
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  EXPECT_FALSE(S.onWrite(0, C.TSync, C.Pool).has_value());
+  EXPECT_NE(S.readVc(), ClockPool::kNone);
+  EXPECT_NE(S.writeVc(), ClockPool::kNone);
+  EXPECT_EQ(C.Pool[S.writeVc()].get(0), 2u);
+}
+
+TEST(FastTrackState, CloneCopiesPooledClocksIntoFreshSlots) {
+  Threads C;
+  FastTrackState S;
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  EXPECT_FALSE(S.onRead(2, C.T2, C.Pool).has_value());
+  ASSERT_TRUE(S.isReadShared());
+
+  FastTrackState Copy = S.clone(C.Pool);
+  ASSERT_TRUE(Copy.isReadShared());
+  ASSERT_NE(Copy.readVc(), S.readVc());
+  EXPECT_EQ(C.Pool[Copy.readVc()].get(1), 1u);
+  EXPECT_EQ(C.Pool[Copy.readVc()].get(2), 1u);
+
+  // The clone is independent: growing the original's read set does not
+  // touch the copy (the array shadow's split correctness).
+  VectorClock T0Read;
+  T0Read.set(0, 1);
+  EXPECT_FALSE(S.onRead(0, T0Read, C.Pool).has_value());
+  EXPECT_EQ(C.Pool[S.readVc()].get(0), 1u);
+  EXPECT_EQ(C.Pool[Copy.readVc()].get(0), 0u);
+
+  Copy.reset(C.Pool);
+  S.reset(C.Pool);
+}
+
+TEST(FastTrackState, ResetReleasesSlotsForReuse) {
+  Threads C;
+  FastTrackState S;
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  EXPECT_FALSE(S.onRead(2, C.T2, C.Pool).has_value());
+  ClockPool::Index Slot = S.readVc();
+  ASSERT_NE(Slot, ClockPool::kNone);
+  S.reset(C.Pool);
+  EXPECT_FALSE(S.isReadShared());
+  EXPECT_TRUE(S.writeEpoch().isBottom());
+  // The next inflation reuses the released slot — refinement churn does
+  // not grow the arena.
+  size_t Slots = C.Pool.slotCount();
+  FastTrackState S2;
+  EXPECT_FALSE(S2.onRead(1, C.T1, C.Pool).has_value());
+  EXPECT_FALSE(S2.onRead(2, C.T2, C.Pool).has_value());
+  EXPECT_EQ(S2.readVc(), Slot);
+  EXPECT_EQ(C.Pool.slotCount(), Slots);
+}
+
+TEST(FastTrackState, StateBytesTracksInflation) {
+  Threads C;
+  FastTrackState S;
+  EXPECT_EQ(shadowcost::stateBytes(S, C.Pool), sizeof(FastTrackState));
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
+  EXPECT_EQ(shadowcost::stateBytes(S, C.Pool), sizeof(FastTrackState));
+  EXPECT_FALSE(S.onRead(2, C.T2, C.Pool).has_value());
+  // Inflated: the pooled read clock now counts on top of the POD state.
+  EXPECT_GT(shadowcost::stateBytes(S, C.Pool), sizeof(FastTrackState));
+}

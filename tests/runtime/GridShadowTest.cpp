@@ -15,6 +15,7 @@ using namespace bigfoot;
 
 namespace {
 struct Clocks {
+  ClockPool Pool;
   VectorClock T0, T1;
   Clocks() {
     T0.set(0, 1);
@@ -27,7 +28,7 @@ TEST(GridShadow, SorPatternStaysCompressed) {
   // Two workers, red/black phases over disjoint halves: four (segment,
   // class) locations, one op per phase sweep.
   Clocks C;
-  ArrayShadow S(12000, /*Adaptive=*/true);
+  ArrayShadow S(12000, /*Adaptive=*/true, C.Pool);
   const int64_t Mid = 6000, N = 12000;
   // Worker 0, red phase: writes odds in [0, Mid).
   auto R0 = S.apply(StridedRange(1, Mid, 2), AccessKind::Write, 0, C.T0);
@@ -51,7 +52,7 @@ TEST(GridShadow, SorPatternStaysCompressed) {
 
 TEST(GridShadow, CrossHalfOverlapStillRaces) {
   Clocks C;
-  ArrayShadow S(1000, true);
+  ArrayShadow S(1000, true, C.Pool);
   S.apply(StridedRange(1, 600, 2), AccessKind::Write, 0, C.T0);
   // Unordered overlapping stride sweep by another thread.
   auto R = S.apply(StridedRange(401, 800, 2), AccessKind::Write, 1, C.T1);
@@ -60,7 +61,7 @@ TEST(GridShadow, CrossHalfOverlapStillRaces) {
 
 TEST(GridShadow, UnitRangeOverAlignedWindowsTouchesAllClasses) {
   Clocks C;
-  ArrayShadow S(100, true);
+  ArrayShadow S(100, true, C.Pool);
   S.apply(StridedRange(0, 100, 2), AccessKind::Read, 0, C.T0); // K=2 grid.
   // A unit-stride read of an aligned window covers both classes.
   auto R = S.apply(StridedRange(20, 40), AccessKind::Read, 0, C.T0);
@@ -70,7 +71,7 @@ TEST(GridShadow, UnitRangeOverAlignedWindowsTouchesAllClasses) {
 
 TEST(GridShadow, MisalignedUnitRangeFallsBackToFine) {
   Clocks C;
-  ArrayShadow S(100, true);
+  ArrayShadow S(100, true, C.Pool);
   S.apply(StridedRange(0, 100, 2), AccessKind::Read, 0, C.T0);
   auto R = S.apply(StridedRange(21, 40), AccessKind::Read, 0, C.T0);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Fine);
@@ -79,7 +80,7 @@ TEST(GridShadow, MisalignedUnitRangeFallsBackToFine) {
 
 TEST(GridShadow, MismatchedStrideFallsBackToFine) {
   Clocks C;
-  ArrayShadow S(90, true);
+  ArrayShadow S(90, true, C.Pool);
   S.apply(StridedRange(0, 90, 2), AccessKind::Write, 0, C.T0);
   S.apply(StridedRange(0, 90, 3), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Fine);
@@ -88,7 +89,7 @@ TEST(GridShadow, MismatchedStrideFallsBackToFine) {
 TEST(GridShadow, RaggedTailHandled) {
   // Length not divisible by the stride: the last window is short.
   Clocks C;
-  ArrayShadow S(11, true);
+  ArrayShadow S(11, true, C.Pool);
   auto R = S.apply(StridedRange(0, 11, 2), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(R.ShadowOps, 1u); // {0,2,4,6,8,10} = class 0 entirely.
   auto R2 = S.apply(StridedRange(1, 11, 2), AccessKind::Write, 0, C.T0);
@@ -99,7 +100,7 @@ TEST(GridShadow, RaggedTailHandled) {
 TEST(GridShadow, NegativeBeginClippedPhaseCorrectly) {
   // Clipping [-3..9:2) must keep the odd phase: {1,3,5,7} not {0,2,...}.
   Clocks C;
-  ArrayShadow S(10, true);
+  ArrayShadow S(10, true, C.Pool);
   S.apply(StridedRange(1, 10, 2), AccessKind::Write, 0, C.T0); // K=2, class 1.
   auto R = S.apply(StridedRange(-3, 9, 2), AccessKind::Write, 1, C.T1);
   // Same (odd) class: unordered threads race.
@@ -108,7 +109,7 @@ TEST(GridShadow, NegativeBeginClippedPhaseCorrectly) {
 
 TEST(GridShadow, RefinementPreservesHistoryAcrossSplits) {
   Clocks C;
-  ArrayShadow S(64, true);
+  ArrayShadow S(64, true, C.Pool);
   S.apply(StridedRange(0, 64), AccessKind::Write, 0, C.T0); // Coarse op.
   // A later strided sweep by an unordered thread must still see T0's
   // write even though the representation re-grids.

@@ -16,6 +16,7 @@ namespace {
 
 /// A tiny harness for driving FastTrackState directly.
 struct Clocks {
+  ClockPool Pool;
   VectorClock T0, T1;
   Clocks() {
     T0.set(0, 1);
@@ -40,25 +41,25 @@ TEST(VectorClock, JoinIsPointwiseMax) {
 TEST(VectorClock, CoversEpochs) {
   VectorClock C;
   C.set(2, 10);
-  EXPECT_TRUE(C.covers(Epoch{2, 10}));
-  EXPECT_TRUE(C.covers(Epoch{2, 9}));
-  EXPECT_FALSE(C.covers(Epoch{2, 11}));
-  EXPECT_TRUE(C.covers(Epoch{})); // Bottom.
+  EXPECT_TRUE(C.covers(Epoch(2, 10)));
+  EXPECT_TRUE(C.covers(Epoch(2, 9)));
+  EXPECT_FALSE(C.covers(Epoch(2, 11)));
+  EXPECT_TRUE(C.covers(Epoch())); // Bottom.
 }
 
 TEST(FastTrack, SequentialAccessesNoRace) {
   Clocks C;
   FastTrackState S;
-  EXPECT_FALSE(S.onWrite(0, C.T0).has_value());
-  EXPECT_FALSE(S.onRead(0, C.T0).has_value());
-  EXPECT_FALSE(S.onWrite(0, C.T0).has_value());
+  EXPECT_FALSE(S.onWrite(0, C.T0, C.Pool).has_value());
+  EXPECT_FALSE(S.onRead(0, C.T0, C.Pool).has_value());
+  EXPECT_FALSE(S.onWrite(0, C.T0, C.Pool).has_value());
 }
 
 TEST(FastTrack, ConcurrentWritesRace) {
   Clocks C;
   FastTrackState S;
-  EXPECT_FALSE(S.onWrite(0, C.T0).has_value());
-  auto Race = S.onWrite(1, C.T1);
+  EXPECT_FALSE(S.onWrite(0, C.T0, C.Pool).has_value());
+  auto Race = S.onWrite(1, C.T1, C.Pool);
   ASSERT_TRUE(Race.has_value());
   EXPECT_EQ(Race->Kind, RaceKind::WriteWrite);
 }
@@ -66,8 +67,8 @@ TEST(FastTrack, ConcurrentWritesRace) {
 TEST(FastTrack, WriteThenConcurrentReadRaces) {
   Clocks C;
   FastTrackState S;
-  EXPECT_FALSE(S.onWrite(0, C.T0).has_value());
-  auto Race = S.onRead(1, C.T1);
+  EXPECT_FALSE(S.onWrite(0, C.T0, C.Pool).has_value());
+  auto Race = S.onRead(1, C.T1, C.Pool);
   ASSERT_TRUE(Race.has_value());
   EXPECT_EQ(Race->Kind, RaceKind::WriteRead);
 }
@@ -75,22 +76,22 @@ TEST(FastTrack, WriteThenConcurrentReadRaces) {
 TEST(FastTrack, OrderedWriteReadNoRace) {
   Clocks C;
   FastTrackState S;
-  EXPECT_FALSE(S.onWrite(0, C.T0).has_value());
+  EXPECT_FALSE(S.onWrite(0, C.T0, C.Pool).has_value());
   // Thread 1 synchronizes with thread 0 (its clock covers T0@1).
   VectorClock T1Synced = C.T1;
   T1Synced.joinWith(C.T0);
-  EXPECT_FALSE(S.onRead(1, T1Synced).has_value());
+  EXPECT_FALSE(S.onRead(1, T1Synced, C.Pool).has_value());
 }
 
 TEST(FastTrack, ConcurrentReadsNoRaceThenWriterRaces) {
   Clocks C;
   FastTrackState S;
-  EXPECT_FALSE(S.onRead(0, C.T0).has_value());
-  EXPECT_FALSE(S.onRead(1, C.T1).has_value()); // Inflates to read-shared.
+  EXPECT_FALSE(S.onRead(0, C.T0, C.Pool).has_value());
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value()); // Inflates to read-shared.
   EXPECT_TRUE(S.isReadShared());
   VectorClock T2;
   T2.set(2, 1);
-  auto Race = S.onWrite(2, T2);
+  auto Race = S.onWrite(2, T2, C.Pool);
   ASSERT_TRUE(Race.has_value());
   EXPECT_EQ(Race->Kind, RaceKind::ReadWrite);
 }
@@ -98,13 +99,13 @@ TEST(FastTrack, ConcurrentReadsNoRaceThenWriterRaces) {
 TEST(FastTrack, ReadSharedWriteAfterJoinAllNoRace) {
   Clocks C;
   FastTrackState S;
-  EXPECT_FALSE(S.onRead(0, C.T0).has_value());
-  EXPECT_FALSE(S.onRead(1, C.T1).has_value());
+  EXPECT_FALSE(S.onRead(0, C.T0, C.Pool).has_value());
+  EXPECT_FALSE(S.onRead(1, C.T1, C.Pool).has_value());
   VectorClock Writer;
   Writer.set(2, 1);
   Writer.joinWith(C.T0);
   Writer.joinWith(C.T1);
-  EXPECT_FALSE(S.onWrite(2, Writer).has_value());
+  EXPECT_FALSE(S.onWrite(2, Writer, C.Pool).has_value());
   EXPECT_FALSE(S.isReadShared()) << "write deflates the read set";
 }
 
@@ -144,7 +145,7 @@ TEST(HbState, BarrierAllToAll) {
 
 TEST(ArrayShadow, WholeArrayChecksStayCoarse) {
   Clocks C;
-  ArrayShadow S(1000, /*Adaptive=*/true);
+  ArrayShadow S(1000, /*Adaptive=*/true, C.Pool);
   auto R1 = S.apply(StridedRange(0, 1000), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(R1.ShadowOps, 1u);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Coarse);
@@ -155,7 +156,7 @@ TEST(ArrayShadow, HalfArrayRefinesToSegments) {
   // The paper's movePts(a, 0, a.length/2) scenario: the shadow refines to
   // two locations, each covering half.
   Clocks C;
-  ArrayShadow S(1000, true);
+  ArrayShadow S(1000, true, C.Pool);
   S.apply(StridedRange(0, 1000), AccessKind::Write, 0, C.T0);
   auto R = S.apply(StridedRange(0, 500), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Segments);
@@ -166,7 +167,7 @@ TEST(ArrayShadow, HalfArrayRefinesToSegments) {
 
 TEST(ArrayShadow, StridedCommitsUseResidueClasses) {
   Clocks C;
-  ArrayShadow S(1024, true);
+  ArrayShadow S(1024, true, C.Pool);
   auto R0 = S.apply(StridedRange(0, 1024, 2), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Strided);
   EXPECT_EQ(S.locationCount(), 2u);
@@ -180,7 +181,7 @@ TEST(ArrayShadow, TriangularPatternDegradesToFine) {
   // The lufact pattern: shrinking prefixes eventually exceed the segment
   // budget and the representation falls back to fine-grained.
   Clocks C;
-  ArrayShadow S(2000, true);
+  ArrayShadow S(2000, true, C.Pool);
   for (int64_t Lo = 0; Lo < 400; ++Lo)
     S.apply(StridedRange(Lo, 2000), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Fine);
@@ -191,7 +192,7 @@ TEST(ArrayShadow, RefinementPreservesHistory) {
   // A write by T0 recorded coarsely must still race with T1 after
   // refinement splits the location.
   Clocks C;
-  ArrayShadow S(100, true);
+  ArrayShadow S(100, true, C.Pool);
   S.apply(StridedRange(0, 100), AccessKind::Write, 0, C.T0);
   auto R = S.apply(StridedRange(10, 20), AccessKind::Write, 1, C.T1);
   ASSERT_FALSE(R.Races.empty());
@@ -200,7 +201,7 @@ TEST(ArrayShadow, RefinementPreservesHistory) {
 
 TEST(ArrayShadow, NonAdaptiveIsAlwaysFine) {
   Clocks C;
-  ArrayShadow S(64, /*Adaptive=*/false);
+  ArrayShadow S(64, /*Adaptive=*/false, C.Pool);
   EXPECT_EQ(S.mode(), ArrayShadow::Mode::Fine);
   auto R = S.apply(StridedRange(0, 64), AccessKind::Write, 0, C.T0);
   EXPECT_EQ(R.ShadowOps, 64u);
@@ -208,7 +209,7 @@ TEST(ArrayShadow, NonAdaptiveIsAlwaysFine) {
 
 TEST(ArrayShadow, OutOfBoundsRangeIsClipped) {
   Clocks C;
-  ArrayShadow S(10, true);
+  ArrayShadow S(10, true, C.Pool);
   auto R = S.apply(StridedRange(5, 100), AccessKind::Read, 0, C.T0);
   EXPECT_GE(R.ShadowOps, 1u); // Only [5..10) processed.
 }

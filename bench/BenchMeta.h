@@ -1,0 +1,50 @@
+//===- BenchMeta.h - Provenance stamp for BENCH_*.json artifacts -*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Every machine-readable bench artifact embeds a "meta" object recording
+// where its numbers came from: the git revision the binary was built
+// from (captured at CMake configure time; "unknown" outside a checkout),
+// the UTC date of the run, and the host that ran it. Without these, two
+// BENCH_*.json files from different machines or commits are silently
+// incomparable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_BENCH_BENCHMETA_H
+#define BIGFOOT_BENCH_BENCHMETA_H
+
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include <unistd.h>
+
+#ifndef BIGFOOT_GIT_SHA
+#define BIGFOOT_GIT_SHA "unknown"
+#endif
+
+namespace bigfoot {
+
+/// A JSON fragment — `"meta":{"git":...,"date":...,"host":...}` without
+/// surrounding braces or trailing comma — for splicing into a bench's
+/// top-level object.
+inline std::string benchMetaJson() {
+  char Date[32] = "unknown";
+  std::time_t Now = std::time(nullptr);
+  std::tm Utc;
+  if (gmtime_r(&Now, &Utc) != nullptr)
+    std::strftime(Date, sizeof(Date), "%Y-%m-%dT%H:%M:%SZ", &Utc);
+
+  char Host[256];
+  if (gethostname(Host, sizeof(Host)) != 0)
+    std::strcpy(Host, "unknown");
+  Host[sizeof(Host) - 1] = '\0';
+
+  return std::string("\"meta\":{\"git\":\"") + BIGFOOT_GIT_SHA +
+         "\",\"date\":\"" + Date + "\",\"host\":\"" + Host + "\"}";
+}
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_BENCH_BENCHMETA_H

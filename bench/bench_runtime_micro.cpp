@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "bfj/Parser.h"
 #include "entail/ConstraintSystem.h"
 #include "runtime/ArrayShadow.h"
@@ -220,8 +221,8 @@ void emitShadowOpJson(int Rounds) {
   Configs.emplace_back("slimcard", slimCardConfig(benchProxies()));
   Configs.emplace_back("bigfoot", bigFootConfig(benchProxies()));
 
-  std::string Json = "{\"bench\":\"runtime_micro\","
-                     "\"unit\":\"ns_per_shadow_op\",\"configs\":{";
+  std::string Json = "{\"bench\":\"runtime_micro\"," + benchMetaJson() +
+                     ",\"unit\":\"ns_per_shadow_op\",\"configs\":{";
   bool First = true;
   for (auto &[Name, Cfg] : Configs) {
     double Ns = nsPerShadowOp(Cfg, Rounds);

@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "runtime/Detector.h"
 #include "support/Timer.h"
 
@@ -125,8 +126,8 @@ int main(int argc, char **argv) {
   Configs.emplace_back("slimcard", slimCardConfig(benchProxies()));
   Configs.emplace_back("bigfoot", bigFootConfig(benchProxies()));
 
-  std::string Json = "{\"bench\":\"shadow_hotpath\","
-                     "\"unit\":\"ns_per_shadow_op\","
+  std::string Json = "{\"bench\":\"shadow_hotpath\"," + benchMetaJson() +
+                     ",\"unit\":\"ns_per_shadow_op\","
                      "\"baseline_commit\":\"617a7bc\",\"configs\":{";
   double GeoAccum = 0;
   int GeoCount = 0;

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "bfj/Parser.h"
 #include "harness/Experiment.h"
 #include "support/TablePrinter.h"
@@ -111,8 +112,8 @@ int main(int Argc, char **Argv) {
   Table.addRow({"GeoMean", "", "", "", TablePrinter::num(Geomean, 2)});
   Table.print(std::cout);
 
-  std::string Json = "{\"bench\":\"vm_dispatch\","
-                     "\"unit\":\"ns_per_statement\",\"workloads\":{";
+  std::string Json = "{\"bench\":\"vm_dispatch\"," + benchMetaJson() +
+                     ",\"unit\":\"ns_per_statement\",\"workloads\":{";
   bool First = true;
   for (const DispatchRow &R : Rows) {
     char Buf[224];

@@ -1,0 +1,61 @@
+//===- DetectorSink.cpp - Applying event batches to detectors ----------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/DetectorSink.h"
+
+using namespace bigfoot;
+
+void bigfoot::applyEvent(RaceDetector &D, const Event &E,
+                         const uint32_t *Payload) {
+  switch (E.Kind) {
+  case EventKind::FieldCheck:
+    D.checkFields(E.Tid, E.Obj, Payload + E.PayloadIndex, E.PayloadCount,
+                  E.Access);
+    break;
+  case EventKind::ArrayCheck:
+    D.checkArrayRange(E.Tid, E.Obj, StridedRange(E.Begin, E.End, E.Stride),
+                      E.Access);
+    break;
+  case EventKind::ArrayAlloc:
+    D.onArrayAlloc(E.Obj, static_cast<int64_t>(E.Aux));
+    break;
+  case EventKind::Acquire:
+    D.onAcquire(E.Tid, E.Obj);
+    break;
+  case EventKind::Release:
+    D.onRelease(E.Tid, E.Obj);
+    break;
+  case EventKind::VolatileRead:
+    D.onVolatileRead(E.Tid, E.Obj, E.Field);
+    break;
+  case EventKind::VolatileWrite:
+    D.onVolatileWrite(E.Tid, E.Obj, E.Field);
+    break;
+  case EventKind::Fork:
+    D.onFork(E.Tid, static_cast<ThreadId>(E.Aux));
+    break;
+  case EventKind::Join:
+    D.onJoin(E.Tid, static_cast<ThreadId>(E.Aux));
+    break;
+  case EventKind::Barrier: {
+    // onBarrier takes a vector; rebuild it from the payload. Barriers are
+    // rare (one event per full barrier round), so this stays off the hot
+    // path.
+    std::vector<ThreadId> Parties(Payload + E.PayloadIndex,
+                                  Payload + E.PayloadIndex + E.PayloadCount);
+    D.onBarrier(Parties);
+    break;
+  }
+  case EventKind::ThreadBegin:
+    break; // Stream marker only; no detector effect.
+  case EventKind::ThreadExit:
+    D.onThreadExit(E.Tid);
+    break;
+  case EventKind::Commit:
+    D.periodicCommit(E.Tid);
+    break;
+  }
+}

@@ -1,0 +1,63 @@
+//===- DetectorSink.h - Applying event batches to detectors -----*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis end of the event stream: drains batches into one or two
+/// RaceDetectors (the attached tool and the optional per-access
+/// ground-truth oracle) through a tight switch loop — the event tag
+/// dispatch runs once per event inside one call per batch, so detector
+/// caches (per-thread slot caches, the HB epoch cache) stay hot across
+/// the whole batch instead of being interleaved with interpreter state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_EVENTS_DETECTORSINK_H
+#define BIGFOOT_EVENTS_DETECTORSINK_H
+
+#include "events/EventSink.h"
+#include "runtime/Detector.h"
+
+namespace bigfoot {
+
+/// Applies one event to \p D (payload resolved against \p Payload).
+/// The single definition of event → detector semantics; online dispatch,
+/// replay, and the dispatch benchmark all route through it.
+void applyEvent(RaceDetector &D, const Event &E, const uint32_t *Payload);
+
+/// Batch consumer feeding the tool and/or oracle detector. Either pointer
+/// may be null; events are routed by their target mask.
+class DetectorSink final : public EventSink {
+public:
+  DetectorSink() = default;
+  DetectorSink(RaceDetector *Tool, RaceDetector *Oracle)
+      : Tool(Tool), Oracle(Oracle) {}
+
+  void bind(RaceDetector *T, RaceDetector *O) {
+    Tool = T;
+    Oracle = O;
+  }
+
+  bool empty() const { return !Tool && !Oracle; }
+
+  void consumeBatch(const Event *Events, size_t N,
+                    const uint32_t *Payload) override {
+    for (size_t I = 0; I < N; ++I) {
+      const Event &E = Events[I];
+      if (Tool && (E.Target & kTargetTool))
+        applyEvent(*Tool, E, Payload);
+      if (Oracle && (E.Target & kTargetOracle))
+        applyEvent(*Oracle, E, Payload);
+    }
+  }
+
+private:
+  RaceDetector *Tool = nullptr;
+  RaceDetector *Oracle = nullptr;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_EVENTS_DETECTORSINK_H

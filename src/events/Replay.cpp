@@ -1,0 +1,81 @@
+//===- Replay.cpp - Re-running a recorded event stream --------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Replay.h"
+
+#include "events/DetectorSink.h"
+
+#include <memory>
+
+using namespace bigfoot;
+
+ReplayResult bigfoot::replayTrace(TraceReader &Reader,
+                                  const DetectorConfig &Tool,
+                                  const ReplayOptions &Opts) {
+  ReplayResult R;
+  if (!Reader.ok()) {
+    R.Error = Reader.error();
+    return R;
+  }
+
+  // The detector shares the result's Stats exactly as an online run does:
+  // tool.* counters land next to the seeded vm.* ones. Seeding order does
+  // not matter — Stats is a name-keyed map.
+  RaceDetector D(Tool, R.Counters, &Reader.symbols());
+  Stats GtCounters; // Oracle counters are discarded online too.
+  std::unique_ptr<RaceDetector> Gt;
+  if (Opts.EnableGroundTruth)
+    Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters,
+                                        &Reader.symbols());
+  DetectorSink Sink(&D, Gt.get());
+
+  size_t Batch = Opts.Batch ? Opts.Batch : 1;
+  std::vector<Event> Buf(Batch);
+  std::vector<uint32_t> Payload;
+  size_t N;
+  while ((N = Reader.nextBatch(Buf.data(), Batch, Payload)) > 0)
+    Sink.consumeBatch(Buf.data(), N, Payload.data());
+  R.EventsReplayed = Reader.eventsDecoded();
+
+  if (!Reader.ok()) {
+    R.Ok = false;
+    R.Error = "trace replay failed: " + Reader.error();
+    return R;
+  }
+  if (!Reader.summaryReady()) {
+    R.Ok = false;
+    R.Error = "trace replay failed: stream ended without a summary";
+    return R;
+  }
+
+  const TraceSummary &S = Reader.summary();
+  R.Ok = S.Ok;
+  R.Error = S.Error;
+  R.Output = S.Output;
+  R.StatementsExecuted = S.StatementsExecuted;
+  for (const auto &[Name, Value] : S.Counters)
+    R.Counters.bump(Name, Value);
+
+  D.sampleMemoryNow();
+  R.ToolRaces = D.races();
+  R.ToolRacyLocations = D.racyLocationKeys();
+  if (Gt) {
+    R.GroundTruthRaces = Gt->races();
+    R.GroundTruthRacyLocations = Gt->racyLocationKeys();
+  }
+  return R;
+}
+
+ReplayResult bigfoot::replayTraceFile(const std::string &Path,
+                                      const ReplayOptions &Opts) {
+  TraceReader Reader;
+  if (!Reader.openFile(Path)) {
+    ReplayResult R;
+    R.Error = Reader.error();
+    return R;
+  }
+  return replayTrace(Reader, Reader.config(), Opts);
+}

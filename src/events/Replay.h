@@ -1,0 +1,69 @@
+//===- Replay.h - Re-running a recorded event stream ------------*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline analysis of a recorded trace: rebuild a detector from the
+/// trace's symbol table, drain the stream through the same batch sink the
+/// online path uses, and reconstitute a full run result from the trace
+/// summary plus the fresh detector state. Because detectors are passive
+/// consumers (they never feed back into execution), replaying a trace
+/// under any config sharing its placement is behaviorally identical to
+/// having attached that detector during the recording run — byte for
+/// byte, which the event-stream differential test enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_EVENTS_REPLAY_H
+#define BIGFOOT_EVENTS_REPLAY_H
+
+#include "events/TraceCodec.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bigfoot {
+
+/// Everything a replay produces — the VmResult fields a recorded run can
+/// reconstruct (defined here rather than reusing VmResult so the events
+/// library stays independent of the VM).
+struct ReplayResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<std::string> Output;
+  Stats Counters; ///< Recorded vm.* seeded in, replayed tool.* added.
+  std::vector<ReportedRace> ToolRaces;
+  std::set<std::string> ToolRacyLocations;
+  std::vector<ReportedRace> GroundTruthRaces;
+  std::set<std::string> GroundTruthRacyLocations;
+  uint64_t StatementsExecuted = 0;
+  uint64_t EventsReplayed = 0;
+};
+
+struct ReplayOptions {
+  /// Events per replay batch (1 = per-event reference dispatch).
+  size_t Batch = kDefaultEventBatch;
+  /// Also rebuild the per-access ground-truth oracle from the trace's
+  /// oracle-targeted events (requires a trace recorded with the oracle
+  /// attached; without those events the oracle simply sees nothing).
+  bool EnableGroundTruth = false;
+};
+
+/// Replays \p Reader (already open()ed) into a fresh detector built from
+/// \p Tool. \p Tool may be any config sharing the recording placement —
+/// the record-once/replay-many harness replays one FastTrack-placement
+/// trace under fasttrack, slimstate, and djit, for example.
+ReplayResult replayTrace(TraceReader &Reader, const DetectorConfig &Tool,
+                         const ReplayOptions &Opts = ReplayOptions());
+
+/// Convenience: opens \p Path and replays it under the trace's own
+/// recorded config. Decode errors surface as Ok = false.
+ReplayResult replayTraceFile(const std::string &Path,
+                             const ReplayOptions &Opts = ReplayOptions());
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_EVENTS_REPLAY_H

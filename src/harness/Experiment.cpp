@@ -8,17 +8,30 @@
 // without contaminating its numbers:
 //
 //   1. Counters (check ratios, shadow ops, races, peak shadow memory,
-//      static placement stats) come from one untimed run per (workload ×
-//      config) cell. Cells are independent — each parses its own Program
-//      (the VM re-interns the AST at attach, so jobs must not share one)
-//      and writes only its pre-assigned slot — and are distributed over a
-//      fixed pool of ExperimentOptions::Jobs threads. The result vector
-//      is identical for any Jobs value, including 1.
+//      static placement stats) come from untimed runs. In replay mode
+//      (the default) this is record-once/replay-many: the six detector
+//      configs share only three distinct check placements (SlimState
+//      rides FastTrack's, SlimCard rides RedCard's, DJIT+ rides
+//      FastTrack's), so each workload executes once per placement with a
+//      TraceWriter on the event stream and every config is then replayed
+//      offline from the recorded trace — 3 executions + 6 replays instead
+//      of 6 instrumented executions, with bytewise-identical results
+//      (detectors are passive consumers; the harness test enforces the
+//      identity). --no-replay falls back to one execution per config.
+//      Cells are independent — each parses its own Program (the VM
+//      re-interns the AST at attach, so jobs must not share one) and
+//      writes only its pre-assigned slot — and are distributed over a
+//      fixed pool of ExperimentOptions::Jobs threads, with a barrier
+//      between the record wave and the replay wave. The result vector is
+//      identical for any Jobs value, including 1.
 //
 //   2. Wall-clock timing (BaseSeconds, per-tool Seconds/OverheadX) runs
 //      afterwards, serially, best-of-N on the quiesced pool, exactly as
-//      the serial driver always did. Iterations == 0 skips this phase for
-//      counter-only consumers (e.g. the memory and check-ratio tables).
+//      the serial driver always did. Replay mode additionally times a
+//      best-of-N replay per tool (ToolMetrics::DetectorSeconds): with
+//      execution factored out entirely, that is the pure detector cost.
+//      Iterations == 0 skips this phase for counter-only consumers (e.g.
+//      the memory and check-ratio tables).
 //
 // Both phases are deterministic given the seed, so phase 1's counters are
 // the counters a timed run would have produced.
@@ -28,16 +41,22 @@
 #include "harness/Experiment.h"
 
 #include "bfj/Parser.h"
+#include "events/Replay.h"
+#include "events/TraceCodec.h"
 #include "instrument/Instrumenters.h"
 #include "support/Timer.h"
 #include "vm/Vm.h"
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <thread>
+
+#include <sys/stat.h>
 
 using namespace bigfoot;
 
@@ -55,6 +74,37 @@ namespace {
 /// Tools order (djit is an extra baseline beyond the paper's five).
 constexpr int kNumTools = 6;
 constexpr int kBigFootIdx = 4;
+
+/// The six configs share three distinct placements. kPlacementTool names
+/// the representative instrumenter per placement; kToolPlacement maps
+/// each tool to the placement whose trace it replays.
+constexpr int kNumPlacements = 3;
+constexpr int kPlacementTool[kNumPlacements] = {0, 1, kBigFootIdx};
+constexpr int kToolPlacement[kNumTools] = {0, 1, 0, 1, 2, 0};
+constexpr const char *kPlacementName[kNumPlacements] = {"fasttrack",
+                                                        "redcard", "bigfoot"};
+
+/// One workload's recorded traces, indexed by placement.
+using PlacementTraces = std::array<std::vector<uint8_t>, kNumPlacements>;
+
+/// The detector config tool \p ToolIdx replays a trace under. Proxy maps
+/// are placement properties, so they come from the recorded config.
+DetectorConfig replayConfigFor(int ToolIdx, const DetectorConfig &Recorded) {
+  switch (ToolIdx) {
+  case 0:
+    return fastTrackConfig();
+  case 1:
+    return redCardConfig(Recorded.FieldProxy);
+  case 2:
+    return slimStateConfig();
+  case 3:
+    return slimCardConfig(Recorded.FieldProxy);
+  case kBigFootIdx:
+    return bigFootConfig(Recorded.FieldProxy);
+  default:
+    return djitConfig();
+  }
+}
 
 VmOptions vmOptionsFor(const ExperimentOptions &Opts) {
   VmOptions VmOpts;
@@ -94,12 +144,13 @@ InstrumentedProgram instrumentFor(const Program &Prog, int ToolIdx) {
   }
 }
 
-/// Best-of-N timed run; returns the last VmResult (all runs are
+/// Best-of-N timed run; returns the last result (all runs are
 /// deterministic given the seed, so any result is representative).
 template <typename RunFn>
-std::pair<double, VmResult> timedBest(int Iterations, RunFn Run) {
+std::pair<double, decltype(std::declval<RunFn>()())> timedBest(int Iterations,
+                                                               RunFn Run) {
   double Best = 1e100;
-  VmResult Last;
+  decltype(Run()) Last;
   for (int I = 0; I < Iterations; ++I) {
     Timer T;
     Last = Run();
@@ -130,9 +181,29 @@ void measureBase(const Workload &W, const ExperimentOptions &Opts,
   Out.BaseHeapBytes = Run.Counters.get("vm.heapBytes");
 }
 
-/// Phase-1 cell: one instrumented configuration's counters. Writes only
-/// Out.Tools[ToolIdx] (pre-sized by the caller) and, for BigFoot, the
-/// static placement stats.
+/// Counter extraction shared by the executed and the replayed paths —
+/// both produce the same Stats, so metrics fill identically.
+void fillToolMetrics(ToolMetrics &M, const std::string &ToolName,
+                     const Stats &Counters) {
+  M.Tool = ToolName;
+  uint64_t FieldEvents = Counters.get("tool.checkEvents.field");
+  uint64_t ArrayEvents = Counters.get("tool.checkEvents.array");
+  uint64_t Accesses = Counters.get("vm.accesses");
+  if (Accesses > 0) {
+    M.CheckRatio =
+        static_cast<double>(FieldEvents + ArrayEvents) / Accesses;
+    M.FieldCheckRatio = static_cast<double>(FieldEvents) / Accesses;
+    M.ArrayCheckRatio = static_cast<double>(ArrayEvents) / Accesses;
+  }
+  M.ShadowOps = Counters.get("tool.shadowOps");
+  M.Races = Counters.get("tool.races");
+  M.PeakShadowBytes = Counters.get("tool.peakShadowBytes");
+  M.PeakShadowLocations = Counters.get("tool.peakShadowLocations");
+}
+
+/// Phase-1 cell: one instrumented configuration's counters, measured by
+/// executing it. Writes only Out.Tools[ToolIdx] (pre-sized by the
+/// caller) and, for BigFoot, the static placement stats.
 void measureTool(const Workload &W, const ExperimentOptions &Opts,
                  int ToolIdx, ExperimentResult &Out) {
   ParseResult PR = parseWorkload(W);
@@ -149,27 +220,86 @@ void measureTool(const Workload &W, const ExperimentOptions &Opts,
                  IP.Tool.Name.c_str(), Run.Error.c_str());
     std::abort();
   }
-  ToolMetrics &M = Out.Tools[static_cast<size_t>(ToolIdx)];
-  M.Tool = IP.Tool.Name;
-  uint64_t FieldEvents = Run.Counters.get("tool.checkEvents.field");
-  uint64_t ArrayEvents = Run.Counters.get("tool.checkEvents.array");
-  uint64_t Accesses = Run.Counters.get("vm.accesses");
-  if (Accesses > 0) {
-    M.CheckRatio =
-        static_cast<double>(FieldEvents + ArrayEvents) / Accesses;
-    M.FieldCheckRatio = static_cast<double>(FieldEvents) / Accesses;
-    M.ArrayCheckRatio = static_cast<double>(ArrayEvents) / Accesses;
+  fillToolMetrics(Out.Tools[static_cast<size_t>(ToolIdx)], IP.Tool.Name,
+                  Run.Counters);
+}
+
+/// Everything a trace's SUMMARY section stores about the recording run.
+TraceSummary summaryOf(const VmResult &Run) {
+  TraceSummary S;
+  S.Ok = Run.Ok;
+  S.Error = Run.Error;
+  S.Output = Run.Output;
+  S.StatementsExecuted = Run.StatementsExecuted;
+  for (const auto &[Name, Value] : Run.Counters.all())
+    if (Name.rfind("tool.", 0) != 0)
+      S.Counters[Name] = Value;
+  return S;
+}
+
+/// Record-wave cell: execute one placement with a TraceWriter on the
+/// event stream and no detector attached. The VM still executes the
+/// placed checks, so the run's vm.* counters, output, and schedule are
+/// exactly those of a detector-attached run.
+void measureRecord(const Workload &W, const ExperimentOptions &Opts,
+                   int Placement, ExperimentResult &Out,
+                   std::vector<uint8_t> &TraceBytes) {
+  ParseResult PR = parseWorkload(W);
+  InstrumentedProgram IP = instrumentFor(*PR.Prog, kPlacementTool[Placement]);
+  if (kPlacementTool[Placement] == kBigFootIdx) {
+    Out.StaticSeconds = IP.Placement.AnalysisSeconds;
+    Out.MethodsProcessed = IP.Placement.MethodsProcessed;
+    Out.BigFootChecks = IP.Placement.ChecksInserted;
   }
-  M.ShadowOps = Run.Counters.get("tool.shadowOps");
-  M.Races = Run.Counters.get("tool.races");
-  M.PeakShadowBytes = Run.Counters.get("tool.peakShadowBytes");
-  M.PeakShadowLocations = Run.Counters.get("tool.peakShadowLocations");
+  IP.Prog->internSymbols(); // Idempotent; the trace header needs the table.
+  TraceWriter Writer(IP.Prog->symbols(), IP.Tool);
+  VmOptions VmOpts = vmOptionsFor(Opts);
+  VmOpts.RecordSink = &Writer;
+  VmResult Run = runProgramBase(*IP.Prog, VmOpts);
+  if (!Run.Ok) {
+    std::fprintf(stderr, "workload %s recording %s failed: %s\n",
+                 W.Name.c_str(), IP.Tool.Name.c_str(), Run.Error.c_str());
+    std::abort();
+  }
+  Writer.finish(summaryOf(Run));
+  TraceBytes = Writer.buffer();
+  if (!Opts.RecordDir.empty()) {
+    ::mkdir(Opts.RecordDir.c_str(), 0777); // EEXIST is fine; races are too.
+    std::string Path = Opts.RecordDir + "/" + W.Name + "." +
+                       kPlacementName[Placement] + ".bft";
+    if (!Writer.writeFile(Path))
+      std::fprintf(stderr, "warning: could not write trace %s\n",
+                   Path.c_str());
+  }
+}
+
+/// Replay-wave cell: one tool's counters from its placement's trace.
+void measureReplayTool(const Workload &W, const std::vector<uint8_t> &Trace,
+                       int ToolIdx, ExperimentResult &Out) {
+  TraceReader Reader;
+  if (!Reader.open(Trace.data(), Trace.size())) {
+    std::fprintf(stderr, "workload %s: bad recorded trace: %s\n",
+                 W.Name.c_str(), Reader.error().c_str());
+    std::abort();
+  }
+  DetectorConfig Cfg = replayConfigFor(ToolIdx, Reader.config());
+  ReplayResult Run = replayTrace(Reader, Cfg);
+  if (!Run.Ok) {
+    std::fprintf(stderr, "workload %s replay under %s failed: %s\n",
+                 W.Name.c_str(), Cfg.Name.c_str(), Run.Error.c_str());
+    std::abort();
+  }
+  fillToolMetrics(Out.Tools[static_cast<size_t>(ToolIdx)], Cfg.Name,
+                  Run.Counters);
 }
 
 /// Phase 2: best-of-N wall-clock timing for one workload (base plus every
-/// configuration). Serial by design — call only on a quiesced pool.
+/// configuration). Serial by design — call only on a quiesced pool. When
+/// \p Traces is non-null (replay mode), each tool additionally gets a
+/// best-of-N replay timing: pure detector cost, no execution.
 void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
-                  ExperimentResult &Out) {
+                  ExperimentResult &Out,
+                  const PlacementTraces *Traces = nullptr) {
   ParseResult PR = parseWorkload(W);
   const Program &Prog = *PR.Prog;
   VmOptions VmOpts = vmOptionsFor(Opts);
@@ -199,6 +329,22 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
     M.OverheadX = Out.BaseSeconds > 0
                       ? (ToolSec - Out.BaseSeconds) / Out.BaseSeconds
                       : 0;
+    if (Traces) {
+      const std::vector<uint8_t> &Trace =
+          (*Traces)[static_cast<size_t>(kToolPlacement[T])];
+      auto [ReplaySec, ReplayRun] =
+          timedBest(Opts.Iterations, [&Trace, T] {
+            TraceReader Reader;
+            Reader.open(Trace.data(), Trace.size());
+            return replayTrace(Reader, replayConfigFor(T, Reader.config()));
+          });
+      if (!ReplayRun.Ok) {
+        std::fprintf(stderr, "workload %s replay timing under %s failed: %s\n",
+                     W.Name.c_str(), M.Tool.c_str(), ReplayRun.Error.c_str());
+        std::abort();
+      }
+      M.DetectorSeconds = ReplaySec;
+    }
   }
 }
 
@@ -210,12 +356,51 @@ ExperimentResult bigfoot::runExperiment(const Workload &W,
   Out.Workload = W.Name;
   Out.Tools.resize(kNumTools);
   measureBase(W, Opts, Out);
-  for (int T = 0; T < kNumTools; ++T)
-    measureTool(W, Opts, T, Out);
+  PlacementTraces Traces;
+  if (Opts.UseReplay) {
+    for (int P = 0; P < kNumPlacements; ++P)
+      measureRecord(W, Opts, P, Out, Traces[static_cast<size_t>(P)]);
+    for (int T = 0; T < kNumTools; ++T)
+      measureReplayTool(W, Traces[static_cast<size_t>(kToolPlacement[T])], T,
+                        Out);
+  } else {
+    for (int T = 0; T < kNumTools; ++T)
+      measureTool(W, Opts, T, Out);
+  }
   if (Opts.Iterations > 0)
-    timeWorkload(W, Opts, Out);
+    timeWorkload(W, Opts, Out, Opts.UseReplay ? &Traces : nullptr);
   return Out;
 }
+
+namespace {
+
+/// Runs Fn(0..Count) over a fixed pool of \p Jobs threads (0 = one per
+/// hardware thread). Work items must be independent and write disjoint
+/// state; completion order never affects results.
+void forEachParallel(size_t Count, unsigned JobsOpt,
+                     const std::function<void(size_t)> &Fn) {
+  size_t Jobs = JobsOpt ? JobsOpt : std::thread::hardware_concurrency();
+  if (Jobs < 1)
+    Jobs = 1;
+  Jobs = std::min(Jobs, Count);
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs);
+  for (size_t J = 0; J < Jobs; ++J)
+    Pool.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
+        Fn(I);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+} // namespace
 
 std::vector<ExperimentResult>
 bigfoot::runSuite(SuiteScale Scale, const ExperimentOptions &Opts) {
@@ -226,51 +411,67 @@ bigfoot::runSuite(SuiteScale Scale, const ExperimentOptions &Opts) {
     Out[I].Tools.resize(kNumTools);
   }
 
-  // Phase 1: one independent cell per (workload × config), base included.
-  // Each cell writes a disjoint part of its workload's pre-sized result,
-  // so workers never contend and order never depends on scheduling.
-  struct Cell {
-    size_t W;
-    int Tool; ///< -1 = base.
-  };
-  std::vector<Cell> Cells;
-  Cells.reserve(Suite.size() * (kNumTools + 1));
-  for (size_t I = 0; I < Suite.size(); ++I) {
-    Cells.push_back({I, -1});
-    for (int T = 0; T < kNumTools; ++T)
-      Cells.push_back({I, T});
-  }
-  auto RunCell = [&](const Cell &C) {
-    if (C.Tool < 0)
-      measureBase(Suite[C.W], Opts, Out[C.W]);
-    else
-      measureTool(Suite[C.W], Opts, C.Tool, Out[C.W]);
-  };
-  size_t Jobs = Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
-  if (Jobs < 1)
-    Jobs = 1;
-  Jobs = std::min(Jobs, Cells.size());
-  if (Jobs <= 1) {
-    for (const Cell &C : Cells)
-      RunCell(C);
+  // Phase 1. Every cell writes a disjoint part of its workload's
+  // pre-sized result, so workers never contend and order never depends on
+  // scheduling.
+  std::vector<PlacementTraces> Traces;
+  if (Opts.UseReplay) {
+    // Wave 1: base + one recording per distinct placement (4 executions
+    // per workload). Wave 2 (after the barrier): replay all six configs
+    // from the in-memory traces.
+    Traces.resize(Suite.size());
+    struct RecCell {
+      size_t W;
+      int Placement; ///< -1 = base.
+    };
+    std::vector<RecCell> Wave1;
+    Wave1.reserve(Suite.size() * (kNumPlacements + 1));
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      Wave1.push_back({I, -1});
+      for (int P = 0; P < kNumPlacements; ++P)
+        Wave1.push_back({I, P});
+    }
+    forEachParallel(Wave1.size(), Opts.Jobs, [&](size_t I) {
+      const RecCell &C = Wave1[I];
+      if (C.Placement < 0)
+        measureBase(Suite[C.W], Opts, Out[C.W]);
+      else
+        measureRecord(Suite[C.W], Opts, C.Placement, Out[C.W],
+                      Traces[C.W][static_cast<size_t>(C.Placement)]);
+    });
+    forEachParallel(Suite.size() * kNumTools, Opts.Jobs, [&](size_t I) {
+      size_t W = I / kNumTools;
+      int T = static_cast<int>(I % kNumTools);
+      measureReplayTool(Suite[W], Traces[W][static_cast<size_t>(
+                                      kToolPlacement[T])],
+                        T, Out[W]);
+    });
   } else {
-    std::atomic<size_t> NextCell{0};
-    std::vector<std::thread> Pool;
-    Pool.reserve(Jobs);
-    for (size_t J = 0; J < Jobs; ++J)
-      Pool.emplace_back([&] {
-        for (size_t I = NextCell.fetch_add(1); I < Cells.size();
-             I = NextCell.fetch_add(1))
-          RunCell(Cells[I]);
-      });
-    for (std::thread &T : Pool)
-      T.join();
+    struct Cell {
+      size_t W;
+      int Tool; ///< -1 = base.
+    };
+    std::vector<Cell> Cells;
+    Cells.reserve(Suite.size() * (kNumTools + 1));
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      Cells.push_back({I, -1});
+      for (int T = 0; T < kNumTools; ++T)
+        Cells.push_back({I, T});
+    }
+    forEachParallel(Cells.size(), Opts.Jobs, [&](size_t I) {
+      const Cell &C = Cells[I];
+      if (C.Tool < 0)
+        measureBase(Suite[C.W], Opts, Out[C.W]);
+      else
+        measureTool(Suite[C.W], Opts, C.Tool, Out[C.W]);
+    });
   }
 
   // Phase 2: wall-clock timing on the now-quiesced pool.
   if (Opts.Iterations > 0)
     for (size_t I = 0; I < Suite.size(); ++I)
-      timeWorkload(Suite[I], Opts, Out[I]);
+      timeWorkload(Suite[I], Opts, Out[I],
+                   Opts.UseReplay ? &Traces[I] : nullptr);
   return Out;
 }
 
@@ -296,6 +497,12 @@ BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
       Args.Opts.Jobs = static_cast<unsigned>(std::atoi(Argv[I] + 7));
     else if (std::strcmp(Argv[I], "--ast") == 0)
       Args.Opts.UseBytecode = false;
+    else if (std::strcmp(Argv[I], "--replay") == 0)
+      Args.Opts.UseReplay = true;
+    else if (std::strcmp(Argv[I], "--no-replay") == 0)
+      Args.Opts.UseReplay = false;
+    else if (std::strncmp(Argv[I], "--record-dir=", 13) == 0)
+      Args.Opts.RecordDir = Argv[I] + 13;
   }
   if (Args.Opts.Iterations < 0)
     Args.Opts.Iterations = 1;

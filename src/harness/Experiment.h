@@ -32,6 +32,9 @@ struct ToolMetrics {
   double ArrayCheckRatio = 0; ///< array check events / heap accesses.
   double Seconds = 0;         ///< best-of-N instrumented run time.
   double OverheadX = 0;       ///< (Seconds - Base) / Base.
+  /// Best-of-N trace-replay time: the pure detector cost with execution
+  /// factored out entirely (replay mode only; 0 otherwise).
+  double DetectorSeconds = 0;
   uint64_t ShadowOps = 0;
   uint64_t Races = 0;
   uint64_t PeakShadowBytes = 0;
@@ -71,6 +74,17 @@ struct ExperimentOptions {
   /// Execute workloads on the compiled bytecode VM (the default); false
   /// selects the AST-walker reference (VmOptions::UseBytecode).
   bool UseBytecode = true;
+  /// Record-once/replay-many counters phase: execute each workload only
+  /// under its three distinct placements (FastTrack, RedCard, BigFoot),
+  /// recording the event stream, then replay all six detector configs
+  /// offline from those traces — 3 executions + 6 replays instead of 6
+  /// instrumented executions. Results are bytewise identical either way
+  /// (the harness test enforces it); replay mode additionally measures
+  /// ToolMetrics::DetectorSeconds during the timing phase.
+  bool UseReplay = true;
+  /// When non-empty, recorded traces are also written into this directory
+  /// as <workload>.<placement>.bft (replay mode only).
+  std::string RecordDir;
 };
 
 /// Runs all five detectors (plus the base) on one workload.
@@ -88,8 +102,8 @@ runSuite(SuiteScale Scale,
 /// positive epsilon as is conventional.
 double geomeanOverhead(const std::vector<double> &Overheads);
 
-/// Parses --small/--iters=N/--seed=N/--jobs=N/--ast command-line options
-/// shared by the bench binaries.
+/// Parses --small/--iters=N/--seed=N/--jobs=N/--ast/--replay/--no-replay/
+/// --record-dir=DIR command-line options shared by the bench binaries.
 struct BenchArgs {
   SuiteScale Scale = SuiteScale::Bench;
   ExperimentOptions Opts;

@@ -25,9 +25,11 @@
 
 #include "vm/Vm.h"
 
+#include "events/DetectorSink.h"
 #include "support/LocKey.h"
 #include "vm/Compiler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
@@ -154,11 +156,28 @@ public:
       Tool = std::make_unique<RaceDetector>(*ToolCfg, Result.Counters, Syms);
     if (Opts.EnableGroundTruth)
       Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters, Syms);
+
+    // Wire the event stream: detectors (and an optional recording sink)
+    // consume batches from the ring. Placement checks are executed
+    // whenever anything wants them — a recording run without a detector
+    // must behave exactly like a detector-attached run.
+    EmitTool = Tool != nullptr || Opts.RecordSink != nullptr;
+    EmitOracle = Gt != nullptr;
+    Detectors.bind(Tool.get(), Gt.get());
+    if (!Detectors.empty())
+      Tee.add(&Detectors);
+    Tee.add(Opts.RecordSink); // add() ignores null.
+    if (Tee.size())
+      Ring.reset(Tee.sole() ? Tee.sole() : &Tee,
+                 std::max<size_t>(1, Opts.EventBatch));
   }
 
   VmResult run() {
     setup();
     schedule();
+    // Deliver any partial batch before sampling detector state — also on
+    // the error path, so detectors observe every event up to the fault.
+    Ring.flush();
     Result.Ok = Error.empty();
     Result.Error = Error;
     Result.StatementsExecuted = Steps;
@@ -182,6 +201,14 @@ private:
   Stats GtCounters;
   std::unique_ptr<RaceDetector> Tool;
   std::unique_ptr<RaceDetector> Gt;
+
+  /// The event stream (DESIGN.md Sec. 9): every detector-visible action
+  /// is appended here and flushed to the sinks in batches.
+  EventRing Ring;
+  DetectorSink Detectors;
+  TeeSink Tee;
+  bool EmitTool = false;   ///< Placement checks / commits wanted.
+  bool EmitOracle = false; ///< Per-access ground-truth events wanted.
 
   const SymbolTable *Syms = nullptr;
   size_t NumSyms = 0;
@@ -233,6 +260,63 @@ private:
       Error = Message;
   }
 
+  //===--- Event emission -------------------------------------------------------
+  //
+  // Detector effects are not calls anymore: they are events appended to
+  // the ring, which flushes batches to the bound sinks. Emission is gated
+  // so an unconsumed stream costs one predictable branch per site.
+
+  /// Synchronization / lifecycle / allocation: visible to both the tool
+  /// and the oracle (each sink routes by the target mask).
+  void emitSync(EventKind K, ThreadId Tid, ObjectId Obj = 0,
+                uint64_t Aux = 0) {
+    if (!Ring.attached())
+      return;
+    Event E;
+    E.Kind = K;
+    E.Target = kTargetBoth;
+    E.Tid = Tid;
+    E.Obj = Obj;
+    E.Aux = Aux;
+    Ring.emit(E);
+  }
+
+  void emitVolatile(EventKind K, ThreadId Tid, ObjectId Obj, FieldId Field) {
+    if (!Ring.attached())
+      return;
+    Event E;
+    E.Kind = K;
+    E.Target = kTargetBoth;
+    E.Tid = Tid;
+    E.Obj = Obj;
+    E.Field = Field;
+    Ring.emit(E);
+  }
+
+  /// Per-access ground-truth events (callers gate on EmitOracle).
+  void emitOracleField(ThreadId Tid, ObjectId Obj, FieldId Field,
+                       AccessKind K) {
+    Event E;
+    E.Kind = EventKind::FieldCheck;
+    E.Target = kTargetOracle;
+    E.Tid = Tid;
+    E.Obj = Obj;
+    E.Access = K;
+    Ring.emit(E, &Field, 1);
+  }
+
+  void emitOracleElem(ThreadId Tid, ObjectId Obj, int64_t Idx, AccessKind K) {
+    Event E;
+    E.Kind = EventKind::ArrayCheck;
+    E.Target = kTargetOracle;
+    E.Tid = Tid;
+    E.Obj = Obj;
+    E.Access = K;
+    E.Begin = Idx;
+    E.End = Idx + 1;
+    Ring.emit(E);
+  }
+
   //===--- Setup --------------------------------------------------------------
 
   Frame makeFrame() {
@@ -263,6 +347,10 @@ private:
       T->Frames.push_back(std::move(F));
       Threads.push_back(std::move(T));
     }
+    // Stream markers for the initial threads (forked threads are implied
+    // by their Fork events); no detector effect.
+    for (const auto &T : Threads)
+      emitSync(EventKind::ThreadBegin, T->Tid);
   }
 
   //===--- Scheduler -----------------------------------------------------------
@@ -287,9 +375,14 @@ private:
           if ((UseBc ? stepBc(T) : step(T)) == StepResult::Blocked)
             break;
           AnyProgress = true;
-          if (Opts.CommitIntervalSteps && Tool &&
-              ++T.StepCount % Opts.CommitIntervalSteps == 0)
-            Tool->periodicCommit(T.Tid);
+          if (Opts.CommitIntervalSteps && EmitTool &&
+              ++T.StepCount % Opts.CommitIntervalSteps == 0) {
+            Event E;
+            E.Kind = EventKind::Commit;
+            E.Target = kTargetTool;
+            E.Tid = T.Tid;
+            Ring.emit(E);
+          }
           if (++Steps > Opts.MaxSteps) {
             setError("step budget exhausted (non-terminating program?)");
             break;
@@ -392,10 +485,7 @@ private:
     if (T.Finished)
       return;
     T.Finished = true;
-    if (Tool)
-      Tool->onThreadExit(T.Tid);
-    if (Gt)
-      Gt->onThreadExit(T.Tid);
+    emitSync(EventKind::ThreadExit, T.Tid);
   }
 
   void returnFromFrame(ThreadCtx &T) {
@@ -572,10 +662,7 @@ private:
     ObjectId Id = NextId++;
     Arrays.emplace(Id, std::move(Arr));
     VmHeapBytesC.bump(32 + static_cast<uint64_t>(Size.I) * 16);
-    if (Tool)
-      Tool->onArrayAlloc(Id, Size.I);
-    if (Gt)
-      Gt->onArrayAlloc(Id, Size.I);
+    emitSync(EventKind::ArrayAlloc, 0, Id, static_cast<uint64_t>(Size.I));
     local(T.Frames.back(), Target) = Value::refV(Id);
   }
 
@@ -601,18 +688,15 @@ private:
     if (Volatile) {
       VmSyncOpsC.bump();
       traceSync(T.Tid, TraceEvent::Kind::Acquire);
-      if (Tool)
-        Tool->onVolatileRead(T.Tid, Id, Field);
-      if (Gt)
-        Gt->onVolatileRead(T.Tid, Id, Field);
+      emitVolatile(EventKind::VolatileRead, T.Tid, Id, Field);
     } else {
       VmAccessesC.bump();
       VmAccessesFieldC.bump();
       if (Opts.RecordEventTrace)
         traceLoc(T.Tid, TraceEvent::Kind::Access,
                  lockey::objField(Id, FieldName), AccessKind::Read);
-      if (Gt)
-        Gt->checkFields(T.Tid, Id, &Field, 1, AccessKind::Read);
+      if (EmitOracle)
+        emitOracleField(T.Tid, Id, Field, AccessKind::Read);
     }
     local(F, Target) = fieldValue(*Obj, Field);
   }
@@ -627,18 +711,15 @@ private:
     if (Volatile) {
       VmSyncOpsC.bump();
       traceSync(T.Tid, TraceEvent::Kind::Release);
-      if (Tool)
-        Tool->onVolatileWrite(T.Tid, Id, Field);
-      if (Gt)
-        Gt->onVolatileWrite(T.Tid, Id, Field);
+      emitVolatile(EventKind::VolatileWrite, T.Tid, Id, Field);
     } else {
       VmAccessesC.bump();
       VmAccessesFieldC.bump();
       if (Opts.RecordEventTrace)
         traceLoc(T.Tid, TraceEvent::Kind::Access,
                  lockey::objField(Id, FieldName), AccessKind::Write);
-      if (Gt)
-        Gt->checkFields(T.Tid, Id, &Field, 1, AccessKind::Write);
+      if (EmitOracle)
+        emitOracleField(T.Tid, Id, Field, AccessKind::Write);
     }
     setField(*Obj, Field, V);
   }
@@ -659,9 +740,8 @@ private:
     if (Opts.RecordEventTrace)
       traceLoc(T.Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
                AccessKind::Read);
-    if (Gt)
-      Gt->checkArrayRange(T.Tid, Id, StridedRange::singleton(Idx.I),
-                          AccessKind::Read);
+    if (EmitOracle)
+      emitOracleElem(T.Tid, Id, Idx.I, AccessKind::Read);
     local(F, Target) = Arr->Elems[static_cast<size_t>(Idx.I)];
   }
 
@@ -681,9 +761,8 @@ private:
     if (Opts.RecordEventTrace)
       traceLoc(T.Tid, TraceEvent::Kind::Access, lockey::arrayElem(Id, Idx.I),
                AccessKind::Write);
-    if (Gt)
-      Gt->checkArrayRange(T.Tid, Id, StridedRange::singleton(Idx.I),
-                          AccessKind::Write);
+    if (EmitOracle)
+      emitOracleElem(T.Tid, Id, Idx.I, AccessKind::Write);
     Arr->Elems[static_cast<size_t>(Idx.I)] = V;
   }
 
@@ -710,10 +789,7 @@ private:
     Obj->LockDepth = 1;
     VmSyncOpsC.bump();
     traceSync(T.Tid, TraceEvent::Kind::Acquire);
-    if (Tool)
-      Tool->onAcquire(T.Tid, Id);
-    if (Gt)
-      Gt->onAcquire(T.Tid, Id);
+    emitSync(EventKind::Acquire, T.Tid, Id);
     return StepResult::Progress;
   }
 
@@ -731,10 +807,7 @@ private:
     Obj->LockOwner = -1;
     VmSyncOpsC.bump();
     traceSync(T.Tid, TraceEvent::Kind::Release);
-    if (Tool)
-      Tool->onRelease(T.Tid, Id);
-    if (Gt)
-      Gt->onRelease(T.Tid, Id);
+    emitSync(EventKind::Release, T.Tid, Id);
   }
 
   StepResult doJoin(ThreadCtx &T, SymId Handle) {
@@ -749,10 +822,7 @@ private:
       return StepResult::Blocked;
     VmSyncOpsC.bump();
     traceSync(T.Tid, TraceEvent::Kind::Acquire);
-    if (Tool)
-      Tool->onJoin(T.Tid, Joined.Tid);
-    if (Gt)
-      Gt->onJoin(T.Tid, Joined.Tid);
+    emitSync(EventKind::Join, T.Tid, 0, Joined.Tid);
     return StepResult::Progress;
   }
 
@@ -773,10 +843,13 @@ private:
       B.Arrived.push_back(T.Tid);
       if (static_cast<int64_t>(B.Arrived.size()) == B.Parties) {
         VmSyncOpsC.bump();
-        if (Tool)
-          Tool->onBarrier(B.Arrived);
-        if (Gt)
-          Gt->onBarrier(B.Arrived);
+        if (Ring.attached()) {
+          Event E;
+          E.Kind = EventKind::Barrier;
+          E.Target = kTargetBoth;
+          Ring.emit(E, B.Arrived.data(),
+                    static_cast<uint32_t>(B.Arrived.size()));
+        }
         B.Arrived.clear();
         ++B.Generation;
       }
@@ -799,10 +872,7 @@ private:
     Threads.push_back(std::move(Child));
     VmSyncOpsC.bump();
     traceSync(T.Tid, TraceEvent::Kind::Release);
-    if (Tool)
-      Tool->onFork(T.Tid, ChildTid);
-    if (Gt)
-      Gt->onFork(T.Tid, ChildTid);
+    emitSync(EventKind::Fork, T.Tid, 0, ChildTid);
     if (TargetSym != kNoSym)
       local(T.Frames.back(), TargetSym) =
           Value::intV(static_cast<int64_t>(ChildTid));
@@ -1234,7 +1304,10 @@ private:
   }
 
   void execCheck(ThreadCtx &T, const CheckStmt *Check) {
-    if (!Tool)
+    // Checks execute (bounds evaluated, errors raised) whenever a tool or
+    // a recorder consumes the stream, so recording runs cannot diverge
+    // from detector-attached ones.
+    if (!EmitTool)
       return;
     Frame &F = T.Frames.back();
     for (const Path &P : Check->paths()) {
@@ -1250,8 +1323,14 @@ private:
           for (const std::string &Fld : P.Fields)
             traceLoc(T.Tid, TraceEvent::Kind::Check,
                      lockey::objField(Id, Fld), P.Access);
-        Tool->checkFields(T.Tid, Id, P.FieldSyms.data(), P.FieldSyms.size(),
-                          P.Access);
+        Event E;
+        E.Kind = EventKind::FieldCheck;
+        E.Target = kTargetTool;
+        E.Tid = T.Tid;
+        E.Obj = Id;
+        E.Access = P.Access;
+        Ring.emit(E, P.FieldSyms.data(),
+                  static_cast<uint32_t>(P.FieldSyms.size()));
         continue;
       }
       std::optional<int64_t> Begin = evalBound(F, P.BeginC);
@@ -1267,7 +1346,16 @@ private:
         for (int64_t Elem : Concrete.elements())
           traceLoc(T.Tid, TraceEvent::Kind::Check, lockey::arrayElem(Id, Elem),
                    P.Access);
-      Tool->checkArrayRange(T.Tid, Id, Concrete, P.Access);
+      Event E;
+      E.Kind = EventKind::ArrayCheck;
+      E.Target = kTargetTool;
+      E.Tid = T.Tid;
+      E.Obj = Id;
+      E.Access = P.Access;
+      E.Begin = Concrete.begin();
+      E.End = Concrete.end();
+      E.Stride = Concrete.stride();
+      Ring.emit(E);
     }
   }
 };

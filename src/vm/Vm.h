@@ -11,12 +11,18 @@
 /// the same seed always yields the same schedule, which the differential
 /// and oracle tests rely on.
 ///
-/// The VM feeds two consumers:
+/// Execution is decoupled from detection by a typed event stream
+/// (src/events): every detector-visible action becomes a POD Event
+/// appended to a ring buffer and dispatched to sinks in batches. Two
+/// consumers ride the stream:
 ///  * the attached RaceDetector (optional) receives synchronization events
 ///    and the check(C) statements the instrumenter placed — this models a
 ///    detector seeing only its own instrumentation;
-///  * an optional ground-truth detector receives *every* heap access
-///    directly, providing the oracle that precision tests compare against.
+///  * an optional ground-truth detector receives *every* heap access,
+///    providing the oracle that precision tests compare against.
+/// A VmOptions::RecordSink (e.g. a TraceWriter) taps the same stream for
+/// record/replay; detectors never feed back into execution, so a replayed
+/// stream is behaviorally identical to the online run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +30,7 @@
 #define BIGFOOT_VM_VM_H
 
 #include "bfj/Program.h"
+#include "events/EventSink.h"
 #include "runtime/Detector.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
@@ -50,6 +57,14 @@ struct VmOptions {
   uint64_t CommitIntervalSteps = 0;
   /// Record the per-thread access/check/sync event trace (tests only).
   bool RecordEventTrace = false;
+  /// Events per batch flushed from the VM's ring to its consumers
+  /// (1 = per-event dispatch, the differential reference mode).
+  size_t EventBatch = kDefaultEventBatch;
+  /// Extra event-stream consumer (e.g. a TraceWriter) receiving the same
+  /// batches as the attached detectors. With a sink but no detector the
+  /// VM still executes placed checks (evaluating their bounds) so that a
+  /// recording run is behaviorally identical to a detector-attached run.
+  EventSink *RecordSink = nullptr;
   /// Execute compiled register bytecode (the default) instead of walking
   /// the statement tree. Both modes are schedule- and result-identical;
   /// the AST walker remains as a differential reference and escape hatch.

@@ -1,0 +1,205 @@
+//===- EventStreamEquivalenceTest.cpp - Dispatch-mode differential -----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Golden differential for the execution/detection decoupling: the three
+// ways a detector can consume the event stream — per-event dispatch (ring
+// capacity 1), batched dispatch (the default ring), and offline replay of
+// a recorded trace — must produce byte-identical results. Coverage grid
+// matches the interning golden test: every workload (standard suite at
+// Test scale plus the racy variants) × all six detector configurations ×
+// three scheduler seeds, with the ground-truth oracle attached so
+// oracle-targeted events are exercised too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfj/Parser.h"
+#include "events/Replay.h"
+#include "events/TraceCodec.h"
+#include "instrument/Instrumenters.h"
+#include "runtime/Detector.h"
+#include "vm/Vm.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace bigfoot;
+
+namespace {
+
+/// The six configurations the paper's Figure 2 table evaluates, mirroring
+/// harness/Experiment.cpp.
+std::vector<InstrumentedProgram> allSixConfigs(const Program &P) {
+  std::vector<InstrumentedProgram> All;
+  All.push_back(instrumentFastTrack(P));
+  All.push_back(instrumentRedCard(P));
+  All.push_back(instrumentSlimState(P));
+  All.push_back(instrumentSlimCard(P));
+  All.push_back(instrumentBigFoot(P));
+  InstrumentedProgram Djit = instrumentFastTrack(P);
+  Djit.Tool = djitConfig();
+  All.push_back(std::move(Djit));
+  return All;
+}
+
+/// What the recording run stores in the trace (mirrors the harness).
+TraceSummary summaryOf(const VmResult &Run) {
+  TraceSummary S;
+  S.Ok = Run.Ok;
+  S.Error = Run.Error;
+  S.Output = Run.Output;
+  S.StatementsExecuted = Run.StatementsExecuted;
+  for (const auto &[Name, Value] : Run.Counters.all())
+    if (Name.rfind("tool.", 0) != 0)
+      S.Counters[Name] = Value;
+  return S;
+}
+
+void expectSameRun(const std::string &Tag, const VmResult &A,
+                   const VmResult &B) {
+  EXPECT_EQ(A.Ok, B.Ok) << Tag;
+  EXPECT_EQ(A.Error, B.Error) << Tag;
+  EXPECT_EQ(A.Output, B.Output) << Tag;
+  EXPECT_EQ(A.StatementsExecuted, B.StatementsExecuted) << Tag;
+  EXPECT_EQ(A.Counters.all(), B.Counters.all()) << Tag;
+  EXPECT_EQ(A.ToolRacyLocations, B.ToolRacyLocations) << Tag;
+  EXPECT_EQ(A.GroundTruthRacyLocations, B.GroundTruthRacyLocations) << Tag;
+  ASSERT_EQ(A.ToolRaces.size(), B.ToolRaces.size()) << Tag;
+  for (size_t I = 0; I < A.ToolRaces.size(); ++I)
+    EXPECT_EQ(A.ToolRaces[I].str(), B.ToolRaces[I].str())
+        << Tag << " race " << I;
+}
+
+void expectReplayMatches(const std::string &Tag, const VmResult &Run,
+                         const ReplayResult &Rep) {
+  EXPECT_EQ(Run.Ok, Rep.Ok) << Tag;
+  EXPECT_EQ(Run.Error, Rep.Error) << Tag;
+  EXPECT_EQ(Run.Output, Rep.Output) << Tag;
+  EXPECT_EQ(Run.StatementsExecuted, Rep.StatementsExecuted) << Tag;
+  EXPECT_EQ(Run.Counters.all(), Rep.Counters.all()) << Tag;
+  EXPECT_EQ(Run.ToolRacyLocations, Rep.ToolRacyLocations) << Tag;
+  EXPECT_EQ(Run.GroundTruthRacyLocations, Rep.GroundTruthRacyLocations)
+      << Tag;
+  ASSERT_EQ(Run.ToolRaces.size(), Rep.ToolRaces.size()) << Tag;
+  for (size_t I = 0; I < Run.ToolRaces.size(); ++I)
+    EXPECT_EQ(Run.ToolRaces[I].str(), Rep.ToolRaces[I].str())
+        << Tag << " race " << I;
+  ASSERT_EQ(Run.GroundTruthRaces.size(), Rep.GroundTruthRaces.size()) << Tag;
+  for (size_t I = 0; I < Run.GroundTruthRaces.size(); ++I)
+    EXPECT_EQ(Run.GroundTruthRaces[I].str(), Rep.GroundTruthRaces[I].str())
+        << Tag << " oracle race " << I;
+}
+
+TEST(EventStreamEquivalence, DispatchModesAgreeEverywhere) {
+  std::vector<Workload> Suite = standardSuite(SuiteScale::Test);
+  for (Workload &W : racyVariants())
+    Suite.push_back(std::move(W));
+  for (const Workload &W : Suite) {
+    ParseResult PR = parseProgram(W.Source);
+    ASSERT_TRUE(PR.ok()) << W.Name << ": " << PR.Error;
+    PR.Prog->internSymbols(); // The trace header needs the symbol table.
+    std::vector<InstrumentedProgram> Configs = allSixConfigs(*PR.Prog);
+    for (const InstrumentedProgram &IP : Configs) {
+      for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+        std::string Tag =
+            W.Name + "/" + IP.Tool.Name + "/seed" + std::to_string(Seed);
+
+        VmOptions Opts;
+        Opts.Seed = Seed;
+        Opts.EnableGroundTruth = true;
+
+        // Reference: per-event dispatch — ring capacity 1 flushes every
+        // event straight through, the moral equivalent of the old direct
+        // virtual call per event.
+        Opts.EventBatch = 1;
+        VmResult Inline = runProgram(*IP.Prog, IP.Tool, Opts);
+
+        // Batched dispatch (the default), with a trace writer teeing off
+        // the same stream the detectors consume.
+        IP.Prog->internSymbols();
+        TraceWriter Writer(IP.Prog->symbols(), IP.Tool);
+        Opts.EventBatch = kDefaultEventBatch;
+        Opts.RecordSink = &Writer;
+        VmResult Batched = runProgram(*IP.Prog, IP.Tool, Opts);
+        Writer.finish(summaryOf(Batched));
+
+        expectSameRun(Tag + " inline-vs-batched", Inline, Batched);
+
+        // Offline replay of the recorded trace, batched...
+        ReplayOptions RO;
+        RO.EnableGroundTruth = true;
+        TraceReader Reader;
+        ASSERT_TRUE(
+            Reader.open(Writer.buffer().data(), Writer.buffer().size()))
+            << Tag << ": " << Reader.error();
+        ReplayResult Rep = replayTrace(Reader, Reader.config(), RO);
+        expectReplayMatches(Tag + " batched-vs-replay", Batched, Rep);
+
+        // ...and per-event, which must agree with the batched replay.
+        TraceReader PerEvent;
+        ASSERT_TRUE(
+            PerEvent.open(Writer.buffer().data(), Writer.buffer().size()))
+            << Tag << ": " << PerEvent.error();
+        RO.Batch = 1;
+        ReplayResult Rep1 = replayTrace(PerEvent, PerEvent.config(), RO);
+        EXPECT_EQ(Rep.Counters.all(), Rep1.Counters.all()) << Tag;
+        EXPECT_EQ(Rep.ToolRacyLocations, Rep1.ToolRacyLocations) << Tag;
+        EXPECT_EQ(Rep.EventsReplayed, Rep1.EventsReplayed) << Tag;
+      }
+    }
+  }
+}
+
+// A recording run with no detector attached (how the harness records: the
+// placement's checks still execute, only consumption is deferred) must
+// produce a trace whose replay matches the detector-attached execution.
+TEST(EventStreamEquivalence, DetectorFreeRecordingReplaysIdentically) {
+  std::vector<Workload> Suite = standardSuite(SuiteScale::Test);
+  for (Workload &W : racyVariants())
+    Suite.push_back(std::move(W));
+  for (const Workload &W : Suite) {
+    ParseResult PR = parseProgram(W.Source);
+    ASSERT_TRUE(PR.ok()) << W.Name << ": " << PR.Error;
+    PR.Prog->internSymbols();
+    InstrumentedProgram IP = instrumentBigFoot(*PR.Prog);
+    std::string Tag = W.Name + "/bigfoot-record-only";
+
+    VmOptions Opts;
+    Opts.Seed = 1;
+    VmResult Online = runProgram(*IP.Prog, IP.Tool, Opts);
+
+    IP.Prog->internSymbols();
+    TraceWriter Writer(IP.Prog->symbols(), IP.Tool);
+    Opts.RecordSink = &Writer;
+    VmResult Recorded = runProgramBase(*IP.Prog, Opts);
+    Writer.finish(summaryOf(Recorded));
+
+    // The recording run executes the same placed checks, so everything
+    // except the detector-owned counters already matches.
+    EXPECT_EQ(Online.Ok, Recorded.Ok) << Tag;
+    EXPECT_EQ(Online.Output, Recorded.Output) << Tag;
+    EXPECT_EQ(Online.StatementsExecuted, Recorded.StatementsExecuted) << Tag;
+
+    ReplayResult Rep = replayTraceFile("/nonexistent");
+    EXPECT_FALSE(Rep.Ok); // Sanity: bad path surfaces as a failed result.
+
+    TraceReader Reader;
+    ASSERT_TRUE(Reader.open(Writer.buffer().data(), Writer.buffer().size()))
+        << Tag << ": " << Reader.error();
+    ReplayResult Replayed = replayTrace(Reader, Reader.config());
+    EXPECT_EQ(Online.Ok, Replayed.Ok) << Tag;
+    EXPECT_EQ(Online.Output, Replayed.Output) << Tag;
+    EXPECT_EQ(Online.StatementsExecuted, Replayed.StatementsExecuted) << Tag;
+    EXPECT_EQ(Online.Counters.all(), Replayed.Counters.all()) << Tag;
+    EXPECT_EQ(Online.ToolRacyLocations, Replayed.ToolRacyLocations) << Tag;
+    ASSERT_EQ(Online.ToolRaces.size(), Replayed.ToolRaces.size()) << Tag;
+    for (size_t I = 0; I < Online.ToolRaces.size(); ++I)
+      EXPECT_EQ(Online.ToolRaces[I].str(), Replayed.ToolRaces[I].str())
+          << Tag << " race " << I;
+  }
+}
+
+} // namespace

@@ -92,6 +92,49 @@ TEST(Harness, SuiteResultsIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(Harness, ReplaySuiteMatchesDirectExecution) {
+  // The record-once/replay-many counters phase (3 recorded placements +
+  // 6 offline replays per workload) must be bytewise indistinguishable
+  // from running all 6 detectors inline.
+  ExperimentOptions Direct;
+  Direct.Iterations = 0;
+  Direct.Jobs = 1;
+  Direct.UseReplay = false;
+  ExperimentOptions Replayed = Direct;
+  Replayed.UseReplay = true;
+  std::vector<ExperimentResult> A = runSuite(SuiteScale::Test, Direct);
+  std::vector<ExperimentResult> B = runSuite(SuiteScale::Test, Replayed);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Workload, B[I].Workload);
+    EXPECT_EQ(A[I].Accesses, B[I].Accesses);
+    EXPECT_EQ(A[I].FieldAccesses, B[I].FieldAccesses);
+    EXPECT_EQ(A[I].ArrayAccesses, B[I].ArrayAccesses);
+    EXPECT_EQ(A[I].BaseHeapBytes, B[I].BaseHeapBytes);
+    EXPECT_EQ(A[I].BigFootChecks, B[I].BigFootChecks);
+    ASSERT_EQ(A[I].Tools.size(), B[I].Tools.size());
+    for (size_t T = 0; T < A[I].Tools.size(); ++T) {
+      std::string Tag = A[I].Workload + "/" + A[I].Tools[T].Tool;
+      EXPECT_EQ(A[I].Tools[T].Tool, B[I].Tools[T].Tool) << Tag;
+      EXPECT_EQ(A[I].Tools[T].ShadowOps, B[I].Tools[T].ShadowOps) << Tag;
+      EXPECT_EQ(A[I].Tools[T].Races, B[I].Tools[T].Races) << Tag;
+      EXPECT_EQ(A[I].Tools[T].PeakShadowBytes, B[I].Tools[T].PeakShadowBytes)
+          << Tag;
+      EXPECT_EQ(A[I].Tools[T].PeakShadowLocations,
+                B[I].Tools[T].PeakShadowLocations)
+          << Tag;
+      EXPECT_DOUBLE_EQ(A[I].Tools[T].CheckRatio, B[I].Tools[T].CheckRatio)
+          << Tag;
+      EXPECT_DOUBLE_EQ(A[I].Tools[T].FieldCheckRatio,
+                       B[I].Tools[T].FieldCheckRatio)
+          << Tag;
+      EXPECT_DOUBLE_EQ(A[I].Tools[T].ArrayCheckRatio,
+                       B[I].Tools[T].ArrayCheckRatio)
+          << Tag;
+    }
+  }
+}
+
 TEST(Harness, GeomeanOverheadBehaves) {
   EXPECT_NEAR(geomeanOverhead({2.0, 8.0}), 4.0, 1e-9);
   EXPECT_NEAR(geomeanOverhead({3.0}), 3.0, 1e-9);
@@ -116,6 +159,18 @@ TEST(Harness, BenchArgsParsing) {
   // --iters=0 is a legitimate counters-only request, not clamped.
   const char *Zero[] = {"prog", "--iters=0"};
   EXPECT_EQ(parseBenchArgs(2, const_cast<char **>(Zero)).Opts.Iterations, 0);
+  // Replay knobs: on by default, --no-replay disables, --replay re-enables,
+  // --record-dir= captures the trace directory.
+  EXPECT_TRUE(Defaults.Opts.UseReplay);
+  EXPECT_TRUE(Defaults.Opts.RecordDir.empty());
+  const char *NoReplay[] = {"prog", "--no-replay"};
+  EXPECT_FALSE(
+      parseBenchArgs(2, const_cast<char **>(NoReplay)).Opts.UseReplay);
+  const char *Replay[] = {"prog", "--no-replay", "--replay",
+                          "--record-dir=/tmp/traces"};
+  BenchArgs R = parseBenchArgs(4, const_cast<char **>(Replay));
+  EXPECT_TRUE(R.Opts.UseReplay);
+  EXPECT_EQ(R.Opts.RecordDir, "/tmp/traces");
 }
 
 TEST(TablePrinterTest, AlignsColumnsAndHeaderRule) {

@@ -9,12 +9,17 @@
 //   bigfoot --print program.bfj              # show instrumented source
 //   bigfoot --contexts program.bfj           # show analysis contexts
 //   bigfoot --seed=N --quantum=N ...         # schedule control
+//   bigfoot trace record --out=t.bft p.bfj   # record the event stream
+//   bigfoot trace replay t.bft               # re-analyze it offline
+//   bigfoot trace info t.bft                 # describe a trace file
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CheckPlacement.h"
 #include "bfj/Parser.h"
 #include "bfj/Printer.h"
+#include "events/Replay.h"
+#include "events/TraceCodec.h"
 #include "instrument/Instrumenters.h"
 #include "vm/Vm.h"
 
@@ -43,7 +48,237 @@ options:
                   Section 3.3 extension; 0 = only at synchronization)
   --oracle        also run the per-access ground-truth detector
   --stats         dump all counters after the run
+
+trace subcommands (record once, re-analyze offline):
+  bigfoot trace record --out=FILE [--tool=NAME] [run options] program.bfj
+                  run with a detector attached, recording the event
+                  stream to FILE; the report is identical to a plain run
+  bigfoot trace replay [--tool=NAME] FILE
+                  replay FILE into a fresh detector (default: the
+                  recorded config; NAME must share its placement) and
+                  print the same report the recording run printed
+  bigfoot trace info FILE
+                  describe a trace: config, symbols, events, summary
 )";
+}
+
+std::string readFile(const char *Path);
+
+/// The post-run report shared verbatim by execution and replay — the
+/// record/replay smoke test diffs the two outputs byte for byte.
+template <typename RunT>
+int reportRun(const std::string &ToolName, const RunT &Run, bool Oracle,
+              bool DumpStats) {
+  for (const std::string &Line : Run.Output)
+    std::cout << Line << "\n";
+  if (!Run.Ok) {
+    std::cerr << "bigfoot: runtime error: " << Run.Error << "\n";
+    return 1;
+  }
+  uint64_t Events = Run.Counters.get("tool.checkEvents.field") +
+                    Run.Counters.get("tool.checkEvents.array");
+  uint64_t Accesses = Run.Counters.get("vm.accesses");
+  std::cerr << "[" << ToolName << "] " << Accesses << " accesses, "
+            << Events << " check events ("
+            << (Accesses ? static_cast<double>(Events) / Accesses : 0.0)
+            << " ratio), " << Run.Counters.get("tool.shadowOps")
+            << " shadow ops\n";
+  if (Run.ToolRaces.empty()) {
+    std::cerr << "[" << ToolName << "] no races detected\n";
+  } else {
+    for (const ReportedRace &R : Run.ToolRaces)
+      std::cerr << "[" << ToolName << "] " << R.str() << "\n";
+  }
+  if (Oracle) {
+    std::cerr << "[oracle] " << Run.GroundTruthRaces.size()
+              << " race(s) at per-access granularity\n";
+  }
+  if (DumpStats)
+    for (const auto &[Name, Value] : Run.Counters.all())
+      std::cerr << "  " << Name << " = " << Value << "\n";
+  return Run.ToolRaces.empty() ? 0 : 2;
+}
+
+/// Instruments \p Prog for the named tool; false on an unknown name.
+bool instrumentNamed(const Program &Prog, const std::string &ToolName,
+                     InstrumentedProgram &IP) {
+  if (ToolName == "bigfoot")
+    IP = instrumentBigFoot(Prog);
+  else if (ToolName == "fasttrack")
+    IP = instrumentFastTrack(Prog);
+  else if (ToolName == "redcard")
+    IP = instrumentRedCard(Prog);
+  else if (ToolName == "slimstate")
+    IP = instrumentSlimState(Prog);
+  else if (ToolName == "slimcard")
+    IP = instrumentSlimCard(Prog);
+  else if (ToolName == "djit") {
+    IP = instrumentFastTrack(Prog);
+    IP.Tool = djitConfig();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The config \p Name replays a recorded trace under. Proxy maps are
+/// placement properties, so they come from the recorded config.
+bool replayConfigNamed(const std::string &Name,
+                       const DetectorConfig &Recorded, DetectorConfig &Out) {
+  if (Name == "fasttrack")
+    Out = fastTrackConfig();
+  else if (Name == "slimstate")
+    Out = slimStateConfig();
+  else if (Name == "djit")
+    Out = djitConfig();
+  else if (Name == "redcard")
+    Out = redCardConfig(Recorded.FieldProxy);
+  else if (Name == "slimcard")
+    Out = slimCardConfig(Recorded.FieldProxy);
+  else if (Name == "bigfoot")
+    Out = bigFootConfig(Recorded.FieldProxy);
+  else
+    return false;
+  return true;
+}
+
+TraceSummary summaryOf(const VmResult &Run) {
+  TraceSummary S;
+  S.Ok = Run.Ok;
+  S.Error = Run.Error;
+  S.Output = Run.Output;
+  S.StatementsExecuted = Run.StatementsExecuted;
+  for (const auto &[Name, Value] : Run.Counters.all())
+    if (Name.rfind("tool.", 0) != 0)
+      S.Counters[Name] = Value;
+  return S;
+}
+
+int traceMain(int Argc, char **Argv) {
+  if (Argc < 3) {
+    usage();
+    return 1;
+  }
+  std::string Sub = Argv[2];
+  std::string ToolName, OutPath;
+  bool Oracle = false, DumpStats = false;
+  const char *File = nullptr;
+  VmOptions VmOpts;
+  for (int I = 3; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--tool=", 7) == 0)
+      ToolName = Arg + 7;
+    else if (std::strncmp(Arg, "--out=", 6) == 0)
+      OutPath = Arg + 6;
+    else if (std::strcmp(Arg, "--oracle") == 0)
+      Oracle = true;
+    else if (std::strcmp(Arg, "--stats") == 0)
+      DumpStats = true;
+    else if (std::strncmp(Arg, "--seed=", 7) == 0)
+      VmOpts.Seed = static_cast<uint64_t>(std::atoll(Arg + 7));
+    else if (std::strncmp(Arg, "--quantum=", 10) == 0)
+      VmOpts.Quantum = static_cast<unsigned>(std::atoi(Arg + 10));
+    else if (std::strncmp(Arg, "--commit-interval=", 18) == 0)
+      VmOpts.CommitIntervalSteps = static_cast<uint64_t>(std::atoll(Arg + 18));
+    else if (Arg[0] == '-') {
+      std::cerr << "bigfoot: error: unknown trace option '" << Arg << "'\n";
+      return 1;
+    } else {
+      File = Arg;
+    }
+  }
+  if (!File) {
+    std::cerr << "bigfoot: error: trace " << Sub << " needs a file\n";
+    return 1;
+  }
+
+  if (Sub == "record") {
+    if (OutPath.empty()) {
+      std::cerr << "bigfoot: error: trace record needs --out=FILE\n";
+      return 1;
+    }
+    ParseResult PR = parseProgram(readFile(File));
+    if (!PR.ok()) {
+      std::cerr << "bigfoot: " << File << ": " << PR.Error << "\n";
+      return 1;
+    }
+    if (ToolName.empty())
+      ToolName = "bigfoot";
+    InstrumentedProgram IP;
+    if (!instrumentNamed(*PR.Prog, ToolName, IP)) {
+      std::cerr << "bigfoot: error: unknown tool '" << ToolName << "'\n";
+      return 1;
+    }
+    IP.Prog->internSymbols(); // The trace header serializes the table.
+    TraceWriter Writer(IP.Prog->symbols(), IP.Tool);
+    VmOpts.RecordSink = &Writer;
+    VmOpts.EnableGroundTruth = Oracle;
+    VmResult Run = runProgram(*IP.Prog, IP.Tool, VmOpts);
+    Writer.finish(summaryOf(Run));
+    if (!Writer.writeFile(OutPath)) {
+      std::cerr << "bigfoot: error: cannot write trace '" << OutPath
+                << "'\n";
+      return 1;
+    }
+    std::cerr << "[trace] wrote " << Writer.buffer().size() << " bytes to "
+              << OutPath << "\n";
+    return reportRun(ToolName, Run, Oracle, DumpStats);
+  }
+
+  if (Sub == "replay") {
+    TraceReader Reader;
+    if (!Reader.openFile(File)) {
+      std::cerr << "bigfoot: " << File << ": " << Reader.error() << "\n";
+      return 1;
+    }
+    DetectorConfig Cfg = Reader.config();
+    if (!ToolName.empty() &&
+        !replayConfigNamed(ToolName, Reader.config(), Cfg)) {
+      std::cerr << "bigfoot: error: unknown tool '" << ToolName << "'\n";
+      return 1;
+    }
+    ReplayOptions ROpts;
+    ROpts.EnableGroundTruth = Oracle;
+    ReplayResult Run = replayTrace(Reader, Cfg, ROpts);
+    return reportRun(Cfg.Name, Run, Oracle, DumpStats);
+  }
+
+  if (Sub == "info") {
+    TraceReader Reader;
+    if (!Reader.openFile(File)) {
+      std::cerr << "bigfoot: " << File << ": " << Reader.error() << "\n";
+      return 1;
+    }
+    // Drain the stream to count events and reach the summary.
+    std::vector<Event> Buf(kDefaultEventBatch);
+    std::vector<uint32_t> Payload;
+    while (Reader.nextBatch(Buf.data(), Buf.size(), Payload) > 0)
+      ;
+    if (!Reader.ok()) {
+      std::cerr << "bigfoot: " << File << ": " << Reader.error() << "\n";
+      return 1;
+    }
+    const DetectorConfig &C = Reader.config();
+    std::cout << "trace: " << File << "\n"
+              << "  config: " << C.Name
+              << (C.DeferArrayChecks ? " +defer" : "")
+              << (C.AdaptiveArrayShadow ? " +adaptive" : "")
+              << (C.VectorClocksOnly ? " +vconly" : "") << ", "
+              << C.FieldProxy.size() << " proxied field(s)\n"
+              << "  symbols: " << Reader.symbols().size() << "\n"
+              << "  events: " << Reader.eventsDecoded() << "\n";
+    if (Reader.summaryReady()) {
+      const TraceSummary &S = Reader.summary();
+      std::cout << "  run: " << (S.Ok ? "ok" : ("error: " + S.Error)) << ", "
+                << S.StatementsExecuted << " statements, "
+                << S.Output.size() << " output line(s), "
+                << S.Counters.size() << " counter(s)\n";
+    }
+    return 0;
+  }
+
+  std::cerr << "bigfoot: error: unknown trace subcommand '" << Sub << "'\n";
+  return 1;
 }
 
 std::string readFile(const char *Path) {
@@ -60,6 +295,9 @@ std::string readFile(const char *Path) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "trace") == 0)
+    return traceMain(Argc, Argv);
+
   std::string ToolName = "bigfoot";
   bool PrintOnly = false, Contexts = false, Oracle = false, DumpStats = false;
   const char *File = nullptr;
@@ -130,20 +368,7 @@ int main(int Argc, char **Argv) {
   }
 
   InstrumentedProgram IP;
-  if (ToolName == "bigfoot")
-    IP = instrumentBigFoot(*PR.Prog);
-  else if (ToolName == "fasttrack")
-    IP = instrumentFastTrack(*PR.Prog);
-  else if (ToolName == "redcard")
-    IP = instrumentRedCard(*PR.Prog);
-  else if (ToolName == "slimstate")
-    IP = instrumentSlimState(*PR.Prog);
-  else if (ToolName == "slimcard")
-    IP = instrumentSlimCard(*PR.Prog);
-  else if (ToolName == "djit") {
-    IP = instrumentFastTrack(*PR.Prog);
-    IP.Tool = djitConfig();
-  } else {
+  if (!instrumentNamed(*PR.Prog, ToolName, IP)) {
     std::cerr << "bigfoot: error: unknown tool '" << ToolName << "'\n";
     return 1;
   }
@@ -155,33 +380,5 @@ int main(int Argc, char **Argv) {
 
   VmOpts.EnableGroundTruth = Oracle;
   VmResult Run = runProgram(*IP.Prog, IP.Tool, VmOpts);
-  for (const std::string &Line : Run.Output)
-    std::cout << Line << "\n";
-  if (!Run.Ok) {
-    std::cerr << "bigfoot: runtime error: " << Run.Error << "\n";
-    return 1;
-  }
-
-  uint64_t Events = Run.Counters.get("tool.checkEvents.field") +
-                    Run.Counters.get("tool.checkEvents.array");
-  uint64_t Accesses = Run.Counters.get("vm.accesses");
-  std::cerr << "[" << ToolName << "] " << Accesses << " accesses, "
-            << Events << " check events ("
-            << (Accesses ? static_cast<double>(Events) / Accesses : 0.0)
-            << " ratio), " << Run.Counters.get("tool.shadowOps")
-            << " shadow ops\n";
-  if (Run.ToolRaces.empty()) {
-    std::cerr << "[" << ToolName << "] no races detected\n";
-  } else {
-    for (const ReportedRace &R : Run.ToolRaces)
-      std::cerr << "[" << ToolName << "] " << R.str() << "\n";
-  }
-  if (Oracle) {
-    std::cerr << "[oracle] " << Run.GroundTruthRaces.size()
-              << " race(s) at per-access granularity\n";
-  }
-  if (DumpStats)
-    for (const auto &[Name, Value] : Run.Counters.all())
-      std::cerr << "  " << Name << " = " << Value << "\n";
-  return Run.ToolRaces.empty() ? 0 : 2;
+  return reportRun(ToolName, Run, Oracle, DumpStats);
 }

@@ -25,7 +25,8 @@
 // The headline is the geomean pervent/batch speedup (CI tracks it —
 // batching must stay a win). Emits BENCH_event_stream.json. Run at the
 // default Bench scale for stable numbers; --small shrinks the workloads
-// below reliable timing windows.
+// below reliable timing windows, where rows fall under the minimum-event
+// threshold and are flagged skipped instead of timed.
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +54,7 @@ namespace {
 struct StreamRow {
   std::string Workload;
   uint64_t Events = 0;
+  bool Skipped = false;  ///< Too few events for a reliable timing window.
   double PerEventNs = 0; ///< ns/event over base, ring capacity 1.
   double BatchNs = 0;    ///< ns/event over base, default batch size.
   double ReplayNs = 0;   ///< ns/event, full decode + batch dispatch.
@@ -60,6 +62,12 @@ struct StreamRow {
     return BatchNs > 0 && PerEventNs > 0 ? PerEventNs / BatchNs : 0;
   }
 };
+
+/// Workloads emitting fewer events than this are not timed: the (run −
+/// base) subtraction is microseconds against scheduler noise, which used
+/// to surface as negative ns/event and a 0.00 speedup in the JSON. Such
+/// rows are flagged skipped and excluded from the geomean instead.
+constexpr uint64_t kMinTimedEvents = 5000;
 
 /// Best-of-N wall-clock for one VM configuration.
 double bestRun(const Program &P, const DetectorConfig *Tool, size_t Batch,
@@ -131,8 +139,10 @@ StreamRow measureWorkload(const Workload &W, const BenchArgs &Args) {
   StreamRow Row;
   Row.Workload = W.Name;
   Row.Events = Counter.eventsDecoded();
-  if (Row.Events == 0)
+  if (Row.Events < kMinTimedEvents) {
+    Row.Skipped = true;
     return Row;
+  }
 
   int Iters = Args.Opts.Iterations > 0 ? Args.Opts.Iterations : 1;
   uint64_t Seed = Args.Opts.Seed;
@@ -140,8 +150,11 @@ StreamRow measureWorkload(const Workload &W, const BenchArgs &Args) {
   double Base = bestRun(*IP.Prog, nullptr, kDefaultEventBatch, Seed, Iters);
   double B1 = bestRun(*IP.Prog, &IP.Tool, 1, Seed, Iters);
   double Bn = bestRun(*IP.Prog, &IP.Tool, kDefaultEventBatch, Seed, Iters);
-  Row.PerEventNs = (B1 - Base) * 1e9 / N;
-  Row.BatchNs = (Bn - Base) * 1e9 / N;
+  // Even above the event floor the subtraction can go (slightly)
+  // negative under load; clamp to 0 — batchSpeedup() then reads 0 and
+  // the row stays out of the geomean rather than poisoning it.
+  Row.PerEventNs = std::max(0.0, (B1 - Base) * 1e9 / N);
+  Row.BatchNs = std::max(0.0, (Bn - Base) * 1e9 / N);
 
   double Replay = 1e100;
   for (int I = 0; I < Iters; ++I) {
@@ -179,6 +192,11 @@ int main(int Argc, char **Argv) {
   double LogSum = 0;
   int LogCount = 0;
   for (const StreamRow &R : Rows) {
+    if (R.Skipped) {
+      Table.addRow({R.Workload, std::to_string(R.Events), "skip", "skip",
+                    "skip", "-"});
+      continue;
+    }
     Table.addRow({R.Workload, std::to_string(R.Events),
                   TablePrinter::num(R.PerEventNs, 1),
                   TablePrinter::num(R.BatchNs, 1),
@@ -199,12 +217,18 @@ int main(int Argc, char **Argv) {
   bool First = true;
   for (const StreamRow &R : Rows) {
     char Buf[256];
-    std::snprintf(Buf, sizeof(Buf),
-                  "%s\"%s\":{\"events\":%llu,\"pervent\":%.2f,"
-                  "\"batch\":%.2f,\"replay\":%.2f,\"batch_speedup\":%.2f}",
-                  First ? "" : ",", R.Workload.c_str(),
-                  static_cast<unsigned long long>(R.Events), R.PerEventNs,
-                  R.BatchNs, R.ReplayNs, R.batchSpeedup());
+    if (R.Skipped)
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s\"%s\":{\"events\":%llu,\"skipped\":true}",
+                    First ? "" : ",", R.Workload.c_str(),
+                    static_cast<unsigned long long>(R.Events));
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s\"%s\":{\"events\":%llu,\"pervent\":%.2f,"
+                    "\"batch\":%.2f,\"replay\":%.2f,\"batch_speedup\":%.2f}",
+                    First ? "" : ",", R.Workload.c_str(),
+                    static_cast<unsigned long long>(R.Events), R.PerEventNs,
+                    R.BatchNs, R.ReplayNs, R.batchSpeedup());
     Json += Buf;
     First = false;
   }

@@ -1,0 +1,52 @@
+//===- AsyncSink.cpp - Off-thread event sink behind an SPSC ring ----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/AsyncSink.h"
+
+#include <chrono>
+
+namespace bigfoot {
+
+AsyncSink::AsyncSink(EventSink &Downstream, size_t RingBatches)
+    : Downstream(Downstream), Ring(RingBatches) {
+  Worker = std::thread([this] { consumerLoop(); });
+}
+
+AsyncSink::~AsyncSink() {
+  drain();
+  Stop.store(true, std::memory_order_release);
+  Ring.wakeConsumer();
+  Worker.join();
+}
+
+void AsyncSink::consumeBatch(const Event *Events, size_t N,
+                             const uint32_t *Payload) {
+  if (N == 0)
+    return;
+  EventBatch &Slot = Ring.acquireSlot();
+  Slot.assign(Events, N, Payload);
+  Ring.publish();
+}
+
+void AsyncSink::drain() { Ring.drain(); }
+
+void AsyncSink::consumerLoop() {
+  using Clock = std::chrono::steady_clock;
+  for (;;) {
+    EventBatch *B = Ring.waitPeek(Stop);
+    if (!B)
+      return; // Stop observed with an empty ring: all batches applied.
+    auto T0 = Clock::now();
+    Downstream.consumeBatch(B->Events.data(), B->Events.size(),
+                            B->Payload.data());
+    BusyNs += uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
+            .count());
+    Ring.pop();
+  }
+}
+
+} // namespace bigfoot

@@ -50,10 +50,11 @@ public:
   EventRing() = default;
 
   /// (Re)binds the ring to \p S with \p Capacity events per batch.
+  /// Capacity 0 is clamped to 1 (per-event dispatch) rather than trapping:
+  /// callers wire user-supplied batch sizes straight through.
   void reset(EventSink *S, size_t Capacity = kDefaultEventBatch) {
-    assert(Capacity >= 1 && "a batch holds at least one event");
     Sink = S;
-    Cap = Capacity;
+    Cap = Capacity ? Capacity : 1;
     Buf.resize(Cap);
     N = 0;
     Payload.clear();

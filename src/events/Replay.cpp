@@ -8,7 +8,9 @@
 
 #include "events/DetectorSink.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 using namespace bigfoot;
 
@@ -24,6 +26,7 @@ ReplayResult bigfoot::replayTrace(TraceReader &Reader,
   // The detector shares the result's Stats exactly as an online run does:
   // tool.* counters land next to the seeded vm.* ones. Seeding order does
   // not matter — Stats is a name-keyed map.
+  R.Tool = Tool.Name;
   RaceDetector D(Tool, R.Counters, &Reader.symbols());
   Stats GtCounters; // Oracle counters are discarded online too.
   std::unique_ptr<RaceDetector> Gt;
@@ -78,4 +81,58 @@ ReplayResult bigfoot::replayTraceFile(const std::string &Path,
     return R;
   }
   return replayTrace(Reader, Reader.config(), Opts);
+}
+
+std::vector<ReplayResult>
+bigfoot::replayTracesParallel(const std::vector<ReplayJob> &Jobs,
+                              unsigned Threads) {
+  std::vector<ReplayResult> Results(Jobs.size());
+  if (Jobs.empty())
+    return Results;
+
+  auto RunJob = [&](size_t I) {
+    const ReplayJob &Job = Jobs[I];
+    ReplayResult &R = Results[I];
+    if (!Job.Trace) {
+      R.Error = "replay job has no trace";
+      return;
+    }
+    TraceReader Reader;
+    if (!Reader.open(Job.Trace->data(), Job.Trace->size())) {
+      R.Error = Reader.error();
+      return;
+    }
+    DetectorConfig Cfg =
+        Job.MakeConfig ? Job.MakeConfig(Reader.config()) : Reader.config();
+    R = replayTrace(Reader, Cfg, Job.Opts);
+  };
+
+  if (Threads == 0)
+    Threads = std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  if (Threads > Jobs.size())
+    Threads = unsigned(Jobs.size());
+
+  if (Threads == 1) {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      RunJob(I);
+    return Results;
+  }
+
+  // Atomic-index pool: each worker claims the next unstarted job, so a
+  // slow trace never serializes the rest behind a static partition.
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned W = 0; W < Threads; ++W)
+    Pool.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+           I < Jobs.size();
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        RunJob(I);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
 }

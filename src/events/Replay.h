@@ -21,6 +21,7 @@
 
 #include "events/TraceCodec.h"
 
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@ namespace bigfoot {
 struct ReplayResult {
   bool Ok = false;
   std::string Error;
+  std::string Tool; ///< Name of the config the trace was replayed under.
   std::vector<std::string> Output;
   Stats Counters; ///< Recorded vm.* seeded in, replayed tool.* added.
   std::vector<ReportedRace> ToolRaces;
@@ -63,6 +65,25 @@ ReplayResult replayTrace(TraceReader &Reader, const DetectorConfig &Tool,
 /// recorded config. Decode errors surface as Ok = false.
 ReplayResult replayTraceFile(const std::string &Path,
                              const ReplayOptions &Opts = ReplayOptions());
+
+/// One unit of work for replayTracesParallel: an encoded trace plus the
+/// config to replay it under. MakeConfig receives the trace's recorded
+/// config (so callers can derive per-trace variants — the harness maps
+/// one recorded placement to several detector configs); if empty, the
+/// recorded config is used as-is.
+struct ReplayJob {
+  const std::vector<uint8_t> *Trace = nullptr; ///< Encoded BFT1 bytes.
+  std::function<DetectorConfig(const DetectorConfig &Recorded)> MakeConfig;
+  ReplayOptions Opts;
+};
+
+/// Replays independent recorded traces across a thread pool. Each job is
+/// self-contained (own TraceReader, own detector), so jobs shard freely;
+/// results land at their job's index, making the output deterministic
+/// regardless of \p Threads (0 = hardware concurrency). A job with a
+/// null Trace yields a default ReplayResult with an error set.
+std::vector<ReplayResult>
+replayTracesParallel(const std::vector<ReplayJob> &Jobs, unsigned Threads = 0);
 
 } // namespace bigfoot
 

@@ -110,6 +110,7 @@ VmOptions vmOptionsFor(const ExperimentOptions &Opts) {
   VmOptions VmOpts;
   VmOpts.Seed = Opts.Seed;
   VmOpts.UseBytecode = Opts.UseBytecode;
+  VmOpts.AsyncDetect = Opts.AsyncDetect;
   return VmOpts;
 }
 
@@ -273,24 +274,34 @@ void measureRecord(const Workload &W, const ExperimentOptions &Opts,
   }
 }
 
-/// Replay-wave cell: one tool's counters from its placement's trace.
-void measureReplayTool(const Workload &W, const std::vector<uint8_t> &Trace,
-                       int ToolIdx, ExperimentResult &Out) {
-  TraceReader Reader;
-  if (!Reader.open(Trace.data(), Trace.size())) {
-    std::fprintf(stderr, "workload %s: bad recorded trace: %s\n",
-                 W.Name.c_str(), Reader.error().c_str());
-    std::abort();
+/// Appends the six per-tool replay jobs for one workload's placement
+/// traces, in Tools order, for replayTracesParallel.
+void appendReplayJobs(const PlacementTraces &Traces,
+                      std::vector<ReplayJob> &Jobs) {
+  for (int T = 0; T < kNumTools; ++T) {
+    ReplayJob J;
+    J.Trace = &Traces[static_cast<size_t>(kToolPlacement[T])];
+    J.MakeConfig = [T](const DetectorConfig &Recorded) {
+      return replayConfigFor(T, Recorded);
+    };
+    Jobs.push_back(std::move(J));
   }
-  DetectorConfig Cfg = replayConfigFor(ToolIdx, Reader.config());
-  ReplayResult Run = replayTrace(Reader, Cfg);
-  if (!Run.Ok) {
-    std::fprintf(stderr, "workload %s replay under %s failed: %s\n",
-                 W.Name.c_str(), Cfg.Name.c_str(), Run.Error.c_str());
-    std::abort();
+}
+
+/// Consumes one workload's kNumTools-sized slice of parallel replay
+/// results into its metrics slots.
+void fillReplayMetrics(const Workload &W, const ReplayResult *Results,
+                       ExperimentResult &Out) {
+  for (int T = 0; T < kNumTools; ++T) {
+    const ReplayResult &Run = Results[T];
+    if (!Run.Ok) {
+      std::fprintf(stderr, "workload %s replay under %s failed: %s\n",
+                   W.Name.c_str(), Run.Tool.c_str(), Run.Error.c_str());
+      std::abort();
+    }
+    fillToolMetrics(Out.Tools[static_cast<size_t>(T)], Run.Tool,
+                    Run.Counters);
   }
-  fillToolMetrics(Out.Tools[static_cast<size_t>(ToolIdx)], Cfg.Name,
-                  Run.Counters);
 }
 
 /// Phase 2: best-of-N wall-clock timing for one workload (base plus every
@@ -316,9 +327,23 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
 
   for (int T = 0; T < kNumTools; ++T) {
     InstrumentedProgram IP = instrumentFor(Prog, T);
-    auto [ToolSec, Run] = timedBest(Opts.Iterations, [&IP, &VmOpts] {
-      return runProgram(*IP.Prog, IP.Tool, VmOpts);
-    });
+    // Explicit best-of-N (rather than timedBest) so async mode can keep
+    // the VmSeconds / DetectorSeconds split of the best iteration, not
+    // the last one.
+    double ToolSec = 1e100, BestVm = 0, BestDet = 0;
+    VmResult Run;
+    for (int I = 0; I < Opts.Iterations; ++I) {
+      Timer Clk;
+      Run = runProgram(*IP.Prog, IP.Tool, VmOpts);
+      double Sec = Clk.seconds();
+      if (Sec < ToolSec) {
+        ToolSec = Sec;
+        BestVm = Run.VmSeconds;
+        BestDet = Run.DetectorSeconds;
+      }
+      if (!Run.Ok)
+        break;
+    }
     if (!Run.Ok) {
       std::fprintf(stderr, "workload %s under %s failed: %s\n",
                    W.Name.c_str(), IP.Tool.Name.c_str(), Run.Error.c_str());
@@ -329,7 +354,13 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
     M.OverheadX = Out.BaseSeconds > 0
                       ? (ToolSec - Out.BaseSeconds) / Out.BaseSeconds
                       : 0;
-    if (Traces) {
+    if (VmOpts.AsyncDetect) {
+      // The split is the async timing product; the replay leg below would
+      // overwrite DetectorSeconds with a different quantity, so skip it.
+      M.VmSeconds = BestVm;
+      M.DetectorSeconds = BestDet;
+    }
+    if (Traces && !VmOpts.AsyncDetect) {
       const std::vector<uint8_t> &Trace =
           (*Traces)[static_cast<size_t>(kToolPlacement[T])];
       auto [ReplaySec, ReplayRun] =
@@ -360,9 +391,12 @@ ExperimentResult bigfoot::runExperiment(const Workload &W,
   if (Opts.UseReplay) {
     for (int P = 0; P < kNumPlacements; ++P)
       measureRecord(W, Opts, P, Out, Traces[static_cast<size_t>(P)]);
-    for (int T = 0; T < kNumTools; ++T)
-      measureReplayTool(W, Traces[static_cast<size_t>(kToolPlacement[T])], T,
-                        Out);
+    // The six replays are independent detector rebuilds; shard them.
+    std::vector<ReplayJob> Jobs;
+    Jobs.reserve(kNumTools);
+    appendReplayJobs(Traces, Jobs);
+    std::vector<ReplayResult> Replays = replayTracesParallel(Jobs, Opts.Jobs);
+    fillReplayMetrics(W, Replays.data(), Out);
   } else {
     for (int T = 0; T < kNumTools; ++T)
       measureTool(W, Opts, T, Out);
@@ -439,13 +473,16 @@ bigfoot::runSuite(SuiteScale Scale, const ExperimentOptions &Opts) {
         measureRecord(Suite[C.W], Opts, C.Placement, Out[C.W],
                       Traces[C.W][static_cast<size_t>(C.Placement)]);
     });
-    forEachParallel(Suite.size() * kNumTools, Opts.Jobs, [&](size_t I) {
-      size_t W = I / kNumTools;
-      int T = static_cast<int>(I % kNumTools);
-      measureReplayTool(Suite[W], Traces[W][static_cast<size_t>(
-                                      kToolPlacement[T])],
-                        T, Out[W]);
-    });
+    // Wave 2 is one flat parallel replay: every (workload × tool) trace
+    // replays as an independent job, results landing slot-indexed so the
+    // output is identical for any thread count.
+    std::vector<ReplayJob> Jobs;
+    Jobs.reserve(Suite.size() * kNumTools);
+    for (size_t W = 0; W < Suite.size(); ++W)
+      appendReplayJobs(Traces[W], Jobs);
+    std::vector<ReplayResult> Replays = replayTracesParallel(Jobs, Opts.Jobs);
+    for (size_t W = 0; W < Suite.size(); ++W)
+      fillReplayMetrics(Suite[W], Replays.data() + W * kNumTools, Out[W]);
   } else {
     struct Cell {
       size_t W;
@@ -503,6 +540,8 @@ BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
       Args.Opts.UseReplay = false;
     else if (std::strncmp(Argv[I], "--record-dir=", 13) == 0)
       Args.Opts.RecordDir = Argv[I] + 13;
+    else if (std::strcmp(Argv[I], "--async-detect") == 0)
+      Args.Opts.AsyncDetect = true;
   }
   if (Args.Opts.Iterations < 0)
     Args.Opts.Iterations = 1;

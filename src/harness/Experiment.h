@@ -32,9 +32,13 @@ struct ToolMetrics {
   double ArrayCheckRatio = 0; ///< array check events / heap accesses.
   double Seconds = 0;         ///< best-of-N instrumented run time.
   double OverheadX = 0;       ///< (Seconds - Base) / Base.
-  /// Best-of-N trace-replay time: the pure detector cost with execution
-  /// factored out entirely (replay mode only; 0 otherwise).
+  /// Detector-only cost. Replay mode: best-of-N trace-replay time (no
+  /// execution at all). Async mode: the detector thread's busy seconds
+  /// from the instrumented run — the other half of VmSeconds. 0 otherwise.
   double DetectorSeconds = 0;
+  /// Async mode only: producer-side seconds of the instrumented run
+  /// (execution + event publication, including backpressure stalls).
+  double VmSeconds = 0;
   uint64_t ShadowOps = 0;
   uint64_t Races = 0;
   uint64_t PeakShadowBytes = 0;
@@ -85,6 +89,9 @@ struct ExperimentOptions {
   /// When non-empty, recorded traces are also written into this directory
   /// as <workload>.<placement>.bft (replay mode only).
   std::string RecordDir;
+  /// Run detectors on a dedicated thread per VM (VmOptions::AsyncDetect).
+  /// Timing then reports the VmSeconds / DetectorSeconds split per tool.
+  bool AsyncDetect = false;
 };
 
 /// Runs all five detectors (plus the base) on one workload.
@@ -103,7 +110,8 @@ runSuite(SuiteScale Scale,
 double geomeanOverhead(const std::vector<double> &Overheads);
 
 /// Parses --small/--iters=N/--seed=N/--jobs=N/--ast/--replay/--no-replay/
-/// --record-dir=DIR command-line options shared by the bench binaries.
+/// --record-dir=DIR/--async-detect command-line options shared by the
+/// bench binaries.
 struct BenchArgs {
   SuiteScale Scale = SuiteScale::Bench;
   ExperimentOptions Opts;

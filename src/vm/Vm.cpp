@@ -25,8 +25,10 @@
 
 #include "vm/Vm.h"
 
+#include "events/AsyncSink.h"
 #include "events/DetectorSink.h"
 #include "support/LocKey.h"
+#include "support/Timer.h"
 #include "vm/Compiler.h"
 
 #include <algorithm>
@@ -152,8 +154,15 @@ public:
     ThisSym = *Syms->lookup("this");
     if (Opts.UseBytecode)
       CP = compileProgram(Prog);
+    // In async mode the tool detector runs on its own thread while the VM
+    // keeps bumping vm.* counters; Stats is a plain map, so the tool gets
+    // a private Stats merged into Result.Counters after the drain (the
+    // name sets are disjoint and the map is sorted, so the merged result
+    // is byte-identical to a synchronous run's).
     if (ToolCfg)
-      Tool = std::make_unique<RaceDetector>(*ToolCfg, Result.Counters, Syms);
+      Tool = std::make_unique<RaceDetector>(
+          *ToolCfg, Opts.AsyncDetect ? AsyncToolCounters : Result.Counters,
+          Syms);
     if (Opts.EnableGroundTruth)
       Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters, Syms);
 
@@ -164,8 +173,15 @@ public:
     EmitTool = Tool != nullptr || Opts.RecordSink != nullptr;
     EmitOracle = Gt != nullptr;
     Detectors.bind(Tool.get(), Gt.get());
-    if (!Detectors.empty())
-      Tee.add(&Detectors);
+    if (!Detectors.empty()) {
+      if (Opts.AsyncDetect) {
+        Async = std::make_unique<AsyncSink>(
+            Detectors, std::max<size_t>(2, Opts.AsyncRingBatches));
+        Tee.add(Async.get());
+      } else {
+        Tee.add(&Detectors);
+      }
+    }
     Tee.add(Opts.RecordSink); // add() ignores null.
     if (Tee.size())
       Ring.reset(Tee.sole() ? Tee.sole() : &Tee,
@@ -173,11 +189,21 @@ public:
   }
 
   VmResult run() {
+    Timer VmClock;
     setup();
     schedule();
     // Deliver any partial batch before sampling detector state — also on
     // the error path, so detectors observe every event up to the fault.
     Ring.flush();
+    // Producer time stops here: everything after is the drain barrier and
+    // result assembly, which sync mode pays inline as part of detection.
+    Result.VmSeconds = VmClock.seconds();
+    if (Async) {
+      Async->drain();
+      Result.DetectorSeconds = Async->detectorSeconds();
+      Result.AsyncBatches = Async->batchesConsumed();
+      Result.AsyncStalls = Async->producerStalls();
+    }
     Result.Ok = Error.empty();
     Result.Error = Error;
     Result.StatementsExecuted = Steps;
@@ -190,6 +216,10 @@ public:
       Result.GroundTruthRaces = Gt->races();
       Result.GroundTruthRacyLocations = Gt->racyLocationKeys();
     }
+    // Fold the async tool's private counters back in (no-op in sync
+    // mode). Final values only, so gauges merge exactly too.
+    for (const auto &[Name, Value] : AsyncToolCounters.all())
+      Result.Counters.bump(Name, Value);
     return std::move(Result);
   }
 
@@ -199,6 +229,7 @@ private:
   Rng R;
   VmResult Result;
   Stats GtCounters;
+  Stats AsyncToolCounters; ///< Tool's private Stats in async mode.
   std::unique_ptr<RaceDetector> Tool;
   std::unique_ptr<RaceDetector> Gt;
 
@@ -207,6 +238,9 @@ private:
   EventRing Ring;
   DetectorSink Detectors;
   TeeSink Tee;
+  /// Declared after the detectors it feeds so destruction joins the
+  /// detector thread before anything it references dies.
+  std::unique_ptr<AsyncSink> Async;
   bool EmitTool = false;   ///< Placement checks / commits wanted.
   bool EmitOracle = false; ///< Per-access ground-truth events wanted.
 

@@ -69,6 +69,13 @@ struct VmOptions {
   /// the statement tree. Both modes are schedule- and result-identical;
   /// the AST walker remains as a differential reference and escape hatch.
   bool UseBytecode = true;
+  /// Run the attached detectors on a dedicated thread fed by a bounded
+  /// SPSC batch ring (DESIGN.md Sec. 10). Event batches are applied in
+  /// publication order, so reports are byte-identical to synchronous
+  /// mode; the run drains the ring before sampling detector state.
+  bool AsyncDetect = false;
+  /// Ring depth in batches for AsyncDetect (clamped to >= 2).
+  size_t AsyncRingBatches = 16;
 };
 
 /// One entry of the recorded event trace (RecordEventTrace). Location
@@ -95,6 +102,17 @@ struct VmResult {
   /// Scheduler steps executed (identical across execution modes); the
   /// dispatch benchmark's ns/statement denominator.
   uint64_t StatementsExecuted = 0;
+  /// Wall-clock seconds for execution (always set): in async mode the
+  /// producer's time — setup through drain start — including any
+  /// backpressure stalls; in sync mode execution and detection combined.
+  double VmSeconds = 0.0;
+  /// Async mode only: seconds the detector thread spent applying batches
+  /// (busy time, excluding waits). 0 in sync mode.
+  double DetectorSeconds = 0.0;
+  /// Async mode only: batches handed through the ring / times the
+  /// producer blocked on a full ring.
+  uint64_t AsyncBatches = 0;
+  uint64_t AsyncStalls = 0;
 };
 
 /// Runs \p Prog to completion under \p Opts, with \p Tool attached (may be

@@ -128,6 +128,18 @@ TEST(EventStreamEquivalence, DispatchModesAgreeEverywhere) {
 
         expectSameRun(Tag + " inline-vs-batched", Inline, Batched);
 
+        // Asynchronous detection: the same stream applied on a dedicated
+        // detector thread behind the batch ring. Small batches and a
+        // shallow ring so backpressure actually fires at Test scale.
+        VmOptions AsyncOpts;
+        AsyncOpts.Seed = Seed;
+        AsyncOpts.EnableGroundTruth = true;
+        AsyncOpts.AsyncDetect = true;
+        AsyncOpts.EventBatch = 64;
+        AsyncOpts.AsyncRingBatches = 4;
+        VmResult Async = runProgram(*IP.Prog, IP.Tool, AsyncOpts);
+        expectSameRun(Tag + " inline-vs-async", Inline, Async);
+
         // Offline replay of the recorded trace, batched...
         ReplayOptions RO;
         RO.EnableGroundTruth = true;

@@ -1,0 +1,293 @@
+//===- SpscBatchRingTest.cpp - Async pipeline and sink edge cases ------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// Coverage for the asynchronous detection pipeline's moving parts
+// (DESIGN.md Sec. 10) plus producer-side sink edges the differential
+// goldens never reach: the SPSC batch ring under a real producer/consumer
+// thread pair with randomized batch sizes, AsyncSink's drain and
+// backpressure protocol, EventRing capacity clamping and empty flushes,
+// and TeeSink fan-out / mid-stream rebinding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/AsyncSink.h"
+#include "events/EventSink.h"
+#include "events/SpscBatchRing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace bigfoot;
+
+namespace {
+
+/// Flattens every consumed event (and its payload words) into one log, so
+/// tests can assert on exact delivery: counts, order, batch boundaries.
+struct RecordingSink final : public EventSink {
+  std::vector<Event> Events;
+  std::vector<std::vector<uint32_t>> PayloadPerEvent;
+  std::vector<size_t> BatchSizes;
+
+  void consumeBatch(const Event *E, size_t N, const uint32_t *Payload) override {
+    BatchSizes.push_back(N);
+    for (size_t I = 0; I < N; ++I) {
+      Events.push_back(E[I]);
+      PayloadPerEvent.emplace_back(Payload + E[I].PayloadIndex,
+                                   Payload + E[I].PayloadIndex +
+                                       E[I].PayloadCount);
+    }
+  }
+};
+
+Event seqEvent(uint64_t Seq) {
+  Event E;
+  E.Kind = EventKind::Acquire;
+  E.Tid = 1;
+  E.Obj = 7;
+  E.Aux = Seq; // Sequence number rides in Aux for order checks.
+  return E;
+}
+
+//===--- SpscBatchRing --------------------------------------------------------
+
+// The core stress: a real producer thread publishing batches of
+// randomized sizes through a shallow ring (so wraparound and full-ring
+// backpressure both happen constantly) while a consumer drains them. The
+// consumer must observe every event exactly once, in publication order,
+// with each event's payload intact.
+TEST(SpscBatchRing, StressRandomizedBatchesKeepOrder) {
+  constexpr uint64_t kTotalEvents = 50000;
+  SpscBatchRing Ring(4);
+  std::atomic<bool> Stop{false};
+
+  std::vector<uint64_t> Consumed;
+  Consumed.reserve(kTotalEvents);
+  std::vector<uint32_t> PayloadSums;
+  std::thread Consumer([&] {
+    for (;;) {
+      EventBatch *B = Ring.waitPeek(Stop);
+      if (!B)
+        return;
+      for (const Event &E : B->Events) {
+        Consumed.push_back(E.Aux);
+        uint32_t Sum = 0;
+        for (uint32_t I = 0; I < E.PayloadCount; ++I)
+          Sum += B->Payload[E.PayloadIndex + I];
+        PayloadSums.push_back(Sum);
+      }
+      Ring.pop();
+    }
+  });
+
+  std::mt19937_64 Rng(42);
+  std::vector<Event> Batch;
+  std::vector<uint32_t> Payload;
+  uint64_t Seq = 0, BatchesSent = 0;
+  while (Seq < kTotalEvents) {
+    size_t N = 1 + Rng() % 97; // 1..97 events per batch.
+    if (N > kTotalEvents - Seq)
+      N = size_t(kTotalEvents - Seq);
+    Batch.clear();
+    Payload.clear();
+    for (size_t I = 0; I < N; ++I) {
+      Event E = seqEvent(Seq);
+      // Every third event carries payload: two words derived from Seq.
+      if (Seq % 3 == 0) {
+        E.PayloadIndex = uint32_t(Payload.size());
+        E.PayloadCount = 2;
+        Payload.push_back(uint32_t(Seq));
+        Payload.push_back(uint32_t(Seq >> 3));
+      }
+      Batch.push_back(E);
+      ++Seq;
+    }
+    EventBatch &Slot = Ring.acquireSlot();
+    Slot.assign(Batch.data(), Batch.size(), Payload.data());
+    Ring.publish();
+    ++BatchesSent;
+  }
+  Ring.drain();
+  Stop.store(true, std::memory_order_release);
+  Ring.wakeConsumer();
+  Consumer.join();
+
+  // No lost, duplicated, or reordered events: the consumed sequence is
+  // exactly 0..N-1.
+  ASSERT_EQ(Consumed.size(), kTotalEvents);
+  for (uint64_t I = 0; I < kTotalEvents; ++I)
+    ASSERT_EQ(Consumed[size_t(I)], I) << "at index " << I;
+  ASSERT_EQ(PayloadSums.size(), kTotalEvents);
+  for (uint64_t I = 0; I < kTotalEvents; ++I) {
+    uint32_t Want = I % 3 == 0 ? uint32_t(I) + uint32_t(I >> 3) : 0;
+    ASSERT_EQ(PayloadSums[size_t(I)], Want) << "payload at " << I;
+  }
+  EXPECT_EQ(Ring.published(), BatchesSent);
+}
+
+// drain() on a never-used ring returns immediately, and a sub-minimum
+// capacity is clamped rather than rejected.
+TEST(SpscBatchRing, DrainOnEmptyAndCapacityClamp) {
+  SpscBatchRing Ring(0);
+  EXPECT_GE(Ring.capacity(), 2u);
+  Ring.drain(); // Must not block.
+  EXPECT_EQ(Ring.peek(), nullptr);
+  EXPECT_EQ(Ring.published(), 0u);
+  EXPECT_EQ(Ring.fullStalls(), 0u);
+}
+
+//===--- AsyncSink ------------------------------------------------------------
+
+// Events pushed through an AsyncSink arrive at the downstream sink
+// complete and in order once drain() returns — the property the VM's
+// result-sampling depends on.
+TEST(AsyncSink, DrainDeliversEverythingInOrder) {
+  RecordingSink Downstream;
+  AsyncSink Async(Downstream, 4);
+
+  constexpr uint64_t kEvents = 10000;
+  std::vector<Event> Batch;
+  uint64_t Seq = 0;
+  while (Seq < kEvents) {
+    Batch.clear();
+    for (size_t I = 0; I < 64 && Seq < kEvents; ++I)
+      Batch.push_back(seqEvent(Seq++));
+    Async.consumeBatch(Batch.data(), Batch.size(), nullptr);
+  }
+  Async.drain();
+
+  ASSERT_EQ(Downstream.Events.size(), kEvents);
+  for (uint64_t I = 0; I < kEvents; ++I)
+    ASSERT_EQ(Downstream.Events[size_t(I)].Aux, I);
+  EXPECT_EQ(Async.batchesConsumed(), (kEvents + 63) / 64);
+}
+
+/// Downstream sink that sleeps per batch, forcing the producer into the
+/// ring-full path.
+struct SlowSink final : public EventSink {
+  std::atomic<uint64_t> Seen{0};
+  void consumeBatch(const Event *, size_t N, const uint32_t *) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Seen.fetch_add(N, std::memory_order_relaxed);
+  }
+};
+
+// A slow consumer behind a shallow ring must throttle the producer
+// (bounded memory — the backpressure contract) without dropping events.
+TEST(AsyncSink, BackpressureThrottlesWithoutLoss) {
+  SlowSink Downstream;
+  constexpr uint64_t kBatches = 32;
+  uint64_t Sent = 0;
+  {
+    AsyncSink Async(Downstream, 2);
+    Event E = seqEvent(0);
+    for (uint64_t B = 0; B < kBatches; ++B) {
+      Async.consumeBatch(&E, 1, nullptr);
+      ++Sent;
+    }
+    Async.drain();
+    EXPECT_EQ(Downstream.Seen.load(), Sent);
+    EXPECT_GT(Async.producerStalls(), 0u);
+    EXPECT_GT(Async.detectorSeconds(), 0.0);
+    EXPECT_EQ(Async.batchesConsumed(), kBatches);
+  } // Destructor: drain + join must be clean after heavy backpressure.
+  EXPECT_EQ(Downstream.Seen.load(), Sent);
+}
+
+// Empty batches are dropped at the producer side; destruction without
+// drain() still delivers everything published.
+TEST(AsyncSink, EmptyBatchesAndDestructorDrain) {
+  RecordingSink Downstream;
+  {
+    AsyncSink Async(Downstream, 4);
+    Event E = seqEvent(1);
+    Async.consumeBatch(&E, 0, nullptr); // No-op.
+    Async.consumeBatch(&E, 1, nullptr);
+  } // No explicit drain: the destructor must flush the ring.
+  ASSERT_EQ(Downstream.Events.size(), 1u);
+  EXPECT_EQ(Downstream.Events[0].Aux, 1u);
+}
+
+//===--- EventRing edge cases -------------------------------------------------
+
+// Capacity 0 clamps to per-event dispatch instead of tripping an assert:
+// every emit flushes a one-event batch.
+TEST(EventRing, ZeroCapacityResetClampsToPerEvent) {
+  RecordingSink Sink;
+  EventRing Ring;
+  Ring.reset(&Sink, 0);
+  for (uint64_t I = 0; I < 3; ++I)
+    Ring.emit(seqEvent(I));
+  ASSERT_EQ(Sink.Events.size(), 3u);
+  EXPECT_EQ(Sink.BatchSizes, (std::vector<size_t>{1, 1, 1}));
+}
+
+// flush() with nothing buffered must not reach the sink (consumers treat
+// every consumeBatch as meaningful work).
+TEST(EventRing, FlushOnEmptyIsANoOp) {
+  RecordingSink Sink;
+  EventRing Ring;
+  Ring.reset(&Sink, 8);
+  Ring.flush();
+  EXPECT_TRUE(Sink.BatchSizes.empty());
+  Ring.emit(seqEvent(0));
+  Ring.flush();
+  Ring.flush(); // Second flush: batch already delivered, nothing new.
+  EXPECT_EQ(Sink.BatchSizes, (std::vector<size_t>{1}));
+}
+
+// reset() mid-stream rebinds to a new sink: flushed events stay with the
+// old sink, buffered-but-unflushed events are dropped (reset is a
+// rebind, not a handoff), and new emits go to the new sink with
+// batch-relative payload indices starting over.
+TEST(EventRing, SinkReplacementMidStream) {
+  RecordingSink A, B;
+  EventRing Ring;
+  Ring.reset(&A, 4);
+  uint32_t Words[2] = {11, 22};
+  Ring.emit(seqEvent(0), Words, 2);
+  Ring.flush();
+  Ring.emit(seqEvent(1)); // Buffered, never flushed before the rebind.
+  Ring.reset(&B, 4);
+  uint32_t More[1] = {33};
+  Ring.emit(seqEvent(2), More, 1);
+  Ring.flush();
+
+  ASSERT_EQ(A.Events.size(), 1u);
+  EXPECT_EQ(A.Events[0].Aux, 0u);
+  EXPECT_EQ(A.PayloadPerEvent[0], (std::vector<uint32_t>{11, 22}));
+  ASSERT_EQ(B.Events.size(), 1u);
+  EXPECT_EQ(B.Events[0].Aux, 2u);
+  EXPECT_EQ(B.Events[0].PayloadIndex, 0u); // Arena restarted at rebind.
+  EXPECT_EQ(B.PayloadPerEvent[0], (std::vector<uint32_t>{33}));
+}
+
+//===--- TeeSink --------------------------------------------------------------
+
+// Fan-out hits every sink in add() order with the same batch; null adds
+// are ignored; sole() only short-circuits a singleton tee.
+TEST(TeeSink, FanOutOrderAndSoleSemantics) {
+  RecordingSink A, B;
+  TeeSink Tee;
+  Tee.add(nullptr);
+  EXPECT_EQ(Tee.size(), 0u);
+  Tee.add(&A);
+  EXPECT_EQ(Tee.sole(), &A);
+  Tee.add(&B);
+  EXPECT_EQ(Tee.sole(), nullptr); // Two sinks: no single fast path.
+
+  Event E[2] = {seqEvent(5), seqEvent(6)};
+  Tee.consumeBatch(E, 2, nullptr);
+  ASSERT_EQ(A.Events.size(), 2u);
+  ASSERT_EQ(B.Events.size(), 2u);
+  EXPECT_EQ(A.Events[1].Aux, 6u);
+  EXPECT_EQ(B.Events[1].Aux, 6u);
+  EXPECT_EQ(A.BatchSizes, B.BatchSizes);
+}
+
+} // namespace

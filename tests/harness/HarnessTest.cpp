@@ -135,6 +135,31 @@ TEST(Harness, ReplaySuiteMatchesDirectExecution) {
   }
 }
 
+TEST(Harness, AsyncDetectMatchesSyncCounters) {
+  // --async-detect moves detection to another thread but must not change
+  // a single measured number. No-replay mode so every tool actually runs
+  // with its detector attached (replay-mode counters never attach one).
+  Workload W = workloadByName("tomcat", SuiteScale::Test);
+  ExperimentOptions Sync;
+  Sync.Iterations = 0;
+  Sync.UseReplay = false;
+  ExperimentOptions Async = Sync;
+  Async.AsyncDetect = true;
+  ExperimentResult A = runExperiment(W, Sync);
+  ExperimentResult B = runExperiment(W, Async);
+  ASSERT_EQ(A.Tools.size(), B.Tools.size());
+  for (size_t T = 0; T < A.Tools.size(); ++T) {
+    const std::string &Tag = A.Tools[T].Tool;
+    EXPECT_EQ(A.Tools[T].Tool, B.Tools[T].Tool) << Tag;
+    EXPECT_EQ(A.Tools[T].ShadowOps, B.Tools[T].ShadowOps) << Tag;
+    EXPECT_EQ(A.Tools[T].Races, B.Tools[T].Races) << Tag;
+    EXPECT_EQ(A.Tools[T].PeakShadowBytes, B.Tools[T].PeakShadowBytes) << Tag;
+    EXPECT_EQ(A.Tools[T].PeakShadowLocations, B.Tools[T].PeakShadowLocations)
+        << Tag;
+    EXPECT_DOUBLE_EQ(A.Tools[T].CheckRatio, B.Tools[T].CheckRatio) << Tag;
+  }
+}
+
 TEST(Harness, GeomeanOverheadBehaves) {
   EXPECT_NEAR(geomeanOverhead({2.0, 8.0}), 4.0, 1e-9);
   EXPECT_NEAR(geomeanOverhead({3.0}), 3.0, 1e-9);
@@ -171,6 +196,10 @@ TEST(Harness, BenchArgsParsing) {
   BenchArgs R = parseBenchArgs(4, const_cast<char **>(Replay));
   EXPECT_TRUE(R.Opts.UseReplay);
   EXPECT_EQ(R.Opts.RecordDir, "/tmp/traces");
+  // Async detection: off by default, --async-detect enables.
+  EXPECT_FALSE(Defaults.Opts.AsyncDetect);
+  const char *Async[] = {"prog", "--async-detect"};
+  EXPECT_TRUE(parseBenchArgs(2, const_cast<char **>(Async)).Opts.AsyncDetect);
 }
 
 TEST(TablePrinterTest, AlignsColumnsAndHeaderRule) {

@@ -46,6 +46,9 @@ options:
   --commit-interval=N
                   commit deferred footprints every N statements (the
                   Section 3.3 extension; 0 = only at synchronization)
+  --async-detect  run the detector on its own thread behind a bounded
+                  batch ring (reports stay identical to sync mode; an
+                  [async] line shows the vm/detector time split)
   --oracle        also run the per-access ground-truth detector
   --stats         dump all counters after the run
 
@@ -97,6 +100,16 @@ int reportRun(const std::string &ToolName, const RunT &Run, bool Oracle,
     for (const auto &[Name, Value] : Run.Counters.all())
       std::cerr << "  " << Name << " = " << Value << "\n";
   return Run.ToolRaces.empty() ? 0 : 2;
+}
+
+/// Async-mode timing split on stderr, prefixed so byte-diff consumers can
+/// filter it exactly like the [trace] line.
+void reportAsync(const VmOptions &Opts, const VmResult &Run) {
+  if (!Opts.AsyncDetect)
+    return;
+  std::cerr << "[async] vm " << Run.VmSeconds << "s, detector "
+            << Run.DetectorSeconds << "s, " << Run.AsyncBatches
+            << " batch(es), " << Run.AsyncStalls << " stall(s)\n";
 }
 
 /// Instruments \p Prog for the named tool; false on an unknown name.
@@ -180,6 +193,8 @@ int traceMain(int Argc, char **Argv) {
       VmOpts.Quantum = static_cast<unsigned>(std::atoi(Arg + 10));
     else if (std::strncmp(Arg, "--commit-interval=", 18) == 0)
       VmOpts.CommitIntervalSteps = static_cast<uint64_t>(std::atoll(Arg + 18));
+    else if (std::strcmp(Arg, "--async-detect") == 0)
+      VmOpts.AsyncDetect = true;
     else if (Arg[0] == '-') {
       std::cerr << "bigfoot: error: unknown trace option '" << Arg << "'\n";
       return 1;
@@ -222,6 +237,7 @@ int traceMain(int Argc, char **Argv) {
     }
     std::cerr << "[trace] wrote " << Writer.buffer().size() << " bytes to "
               << OutPath << "\n";
+    reportAsync(VmOpts, Run);
     return reportRun(ToolName, Run, Oracle, DumpStats);
   }
 
@@ -322,6 +338,8 @@ int main(int Argc, char **Argv) {
     else if (std::strncmp(Arg, "--commit-interval=", 18) == 0)
       VmOpts.CommitIntervalSteps =
           static_cast<uint64_t>(std::atoll(Arg + 18));
+    else if (std::strcmp(Arg, "--async-detect") == 0)
+      VmOpts.AsyncDetect = true;
     else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       usage();
       return 0;
@@ -380,5 +398,6 @@ int main(int Argc, char **Argv) {
 
   VmOpts.EnableGroundTruth = Oracle;
   VmResult Run = runProgram(*IP.Prog, IP.Tool, VmOpts);
+  reportAsync(VmOpts, Run);
   return reportRun(ToolName, Run, Oracle, DumpStats);
 }

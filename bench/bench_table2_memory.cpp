@@ -27,14 +27,21 @@ int main(int Argc, char **Argv) {
   std::vector<double> BfR, RcR, SsR, ScR;
   for (const ExperimentResult &R : Results) {
     double Base = static_cast<double>(R.BaseHeapBytes);
-    double Ft = static_cast<double>(R.tool("fasttrack").PeakShadowBytes);
+    // Detector metadata = shadow state + the check filter's stamp
+    // tables; counting both keeps the census honest when the filter is
+    // on (its tables are real resident memory the tool costs).
+    auto MetaBytes = [&R](const char *Tool) {
+      const ToolMetrics &M = R.tool(Tool);
+      return M.PeakShadowBytes + M.FilterTableBytes;
+    };
+    double Ft = static_cast<double>(MetaBytes("fasttrack"));
     auto Rel = [Ft](uint64_t Bytes) {
       return Ft > 0 ? static_cast<double>(Bytes) / Ft : 1.0;
     };
-    double Bf = Rel(R.tool("bigfoot").PeakShadowBytes);
-    double Rc = Rel(R.tool("redcard").PeakShadowBytes);
-    double Ss = Rel(R.tool("slimstate").PeakShadowBytes);
-    double Sc = Rel(R.tool("slimcard").PeakShadowBytes);
+    double Bf = Rel(MetaBytes("bigfoot"));
+    double Rc = Rel(MetaBytes("redcard"));
+    double Ss = Rel(MetaBytes("slimstate"));
+    double Sc = Rel(MetaBytes("slimcard"));
     Table.addRow({R.Workload, TablePrinter::num(Base / 1024.0, 1),
                   TablePrinter::num(Base > 0 ? Ft / Base : 0, 2),
                   TablePrinter::ratio(Bf), TablePrinter::ratio(Rc),

@@ -27,12 +27,17 @@ ReplayResult bigfoot::replayTrace(TraceReader &Reader,
   // tool.* counters land next to the seeded vm.* ones. Seeding order does
   // not matter — Stats is a name-keyed map.
   R.Tool = Tool.Name;
-  RaceDetector D(Tool, R.Counters, &Reader.symbols());
+  DetectorConfig Cfg = Tool;
+  Cfg.CheckFilter = Opts.CheckFilter;
+  RaceDetector D(Cfg, R.Counters, &Reader.symbols());
   Stats GtCounters; // Oracle counters are discarded online too.
   std::unique_ptr<RaceDetector> Gt;
-  if (Opts.EnableGroundTruth)
-    Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters,
+  if (Opts.EnableGroundTruth) {
+    DetectorConfig GtCfg = fastTrackConfig();
+    GtCfg.CheckFilter = Opts.CheckFilter;
+    Gt = std::make_unique<RaceDetector>(GtCfg, GtCounters,
                                         &Reader.symbols());
+  }
   DetectorSink Sink(&D, Gt.get());
 
   size_t Batch = Opts.Batch ? Opts.Batch : 1;
@@ -65,6 +70,9 @@ ReplayResult bigfoot::replayTrace(TraceReader &Reader,
   D.sampleMemoryNow();
   R.ToolRaces = D.races();
   R.ToolRacyLocations = D.racyLocationKeys();
+  R.FilterEnabled = D.filterEnabled();
+  R.Filter = D.filterStats();
+  R.FilterTableBytes = D.filterTableBytes();
   if (Gt) {
     R.GroundTruthRaces = Gt->races();
     R.GroundTruthRacyLocations = Gt->racyLocationKeys();

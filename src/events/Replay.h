@@ -43,6 +43,11 @@ struct ReplayResult {
   std::set<std::string> GroundTruthRacyLocations;
   uint64_t StatementsExecuted = 0;
   uint64_t EventsReplayed = 0;
+  /// Check-filter effectiveness for the replayed tool (zeros when off).
+  /// Beside Counters, never inside — on/off runs must match byte-wise.
+  bool FilterEnabled = false;
+  CheckFilterStats Filter;
+  uint64_t FilterTableBytes = 0;
 };
 
 struct ReplayOptions {
@@ -52,6 +57,10 @@ struct ReplayOptions {
   /// oracle-targeted events (requires a trace recorded with the oracle
   /// attached; without those events the oracle simply sees nothing).
   bool EnableGroundTruth = false;
+  /// Epoch-stamped redundant-check elision (DESIGN.md Sec. 11). A trace
+  /// property it is not: the replayed detector applies this knob, not
+  /// whatever the recording run used.
+  bool CheckFilter = true;
 };
 
 /// Replays \p Reader (already open()ed) into a fresh detector built from

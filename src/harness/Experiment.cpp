@@ -111,6 +111,7 @@ VmOptions vmOptionsFor(const ExperimentOptions &Opts) {
   VmOpts.Seed = Opts.Seed;
   VmOpts.UseBytecode = Opts.UseBytecode;
   VmOpts.AsyncDetect = Opts.AsyncDetect;
+  VmOpts.CheckFilter = Opts.CheckFilter;
   return VmOpts;
 }
 
@@ -221,8 +222,12 @@ void measureTool(const Workload &W, const ExperimentOptions &Opts,
                  IP.Tool.Name.c_str(), Run.Error.c_str());
     std::abort();
   }
-  fillToolMetrics(Out.Tools[static_cast<size_t>(ToolIdx)], IP.Tool.Name,
-                  Run.Counters);
+  ToolMetrics &M = Out.Tools[static_cast<size_t>(ToolIdx)];
+  fillToolMetrics(M, IP.Tool.Name, Run.Counters);
+  M.FilterHits = Run.Filter.hits();
+  M.FilterMisses = Run.Filter.misses();
+  M.FilterInvalidations = Run.Filter.Invalidations;
+  M.FilterTableBytes = Run.FilterTableBytes;
 }
 
 /// Everything a trace's SUMMARY section stores about the recording run.
@@ -277,6 +282,7 @@ void measureRecord(const Workload &W, const ExperimentOptions &Opts,
 /// Appends the six per-tool replay jobs for one workload's placement
 /// traces, in Tools order, for replayTracesParallel.
 void appendReplayJobs(const PlacementTraces &Traces,
+                      const ExperimentOptions &Opts,
                       std::vector<ReplayJob> &Jobs) {
   for (int T = 0; T < kNumTools; ++T) {
     ReplayJob J;
@@ -284,6 +290,7 @@ void appendReplayJobs(const PlacementTraces &Traces,
     J.MakeConfig = [T](const DetectorConfig &Recorded) {
       return replayConfigFor(T, Recorded);
     };
+    J.Opts.CheckFilter = Opts.CheckFilter;
     Jobs.push_back(std::move(J));
   }
 }
@@ -299,8 +306,12 @@ void fillReplayMetrics(const Workload &W, const ReplayResult *Results,
                    W.Name.c_str(), Run.Tool.c_str(), Run.Error.c_str());
       std::abort();
     }
-    fillToolMetrics(Out.Tools[static_cast<size_t>(T)], Run.Tool,
-                    Run.Counters);
+    ToolMetrics &M = Out.Tools[static_cast<size_t>(T)];
+    fillToolMetrics(M, Run.Tool, Run.Counters);
+    M.FilterHits = Run.Filter.hits();
+    M.FilterMisses = Run.Filter.misses();
+    M.FilterInvalidations = Run.Filter.Invalidations;
+    M.FilterTableBytes = Run.FilterTableBytes;
   }
 }
 
@@ -363,11 +374,14 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
     if (Traces && !VmOpts.AsyncDetect) {
       const std::vector<uint8_t> &Trace =
           (*Traces)[static_cast<size_t>(kToolPlacement[T])];
+      ReplayOptions ROpts;
+      ROpts.CheckFilter = Opts.CheckFilter;
       auto [ReplaySec, ReplayRun] =
-          timedBest(Opts.Iterations, [&Trace, T] {
+          timedBest(Opts.Iterations, [&Trace, T, &ROpts] {
             TraceReader Reader;
             Reader.open(Trace.data(), Trace.size());
-            return replayTrace(Reader, replayConfigFor(T, Reader.config()));
+            return replayTrace(Reader, replayConfigFor(T, Reader.config()),
+                               ROpts);
           });
       if (!ReplayRun.Ok) {
         std::fprintf(stderr, "workload %s replay timing under %s failed: %s\n",
@@ -394,7 +408,7 @@ ExperimentResult bigfoot::runExperiment(const Workload &W,
     // The six replays are independent detector rebuilds; shard them.
     std::vector<ReplayJob> Jobs;
     Jobs.reserve(kNumTools);
-    appendReplayJobs(Traces, Jobs);
+    appendReplayJobs(Traces, Opts, Jobs);
     std::vector<ReplayResult> Replays = replayTracesParallel(Jobs, Opts.Jobs);
     fillReplayMetrics(W, Replays.data(), Out);
   } else {
@@ -479,7 +493,7 @@ bigfoot::runSuite(SuiteScale Scale, const ExperimentOptions &Opts) {
     std::vector<ReplayJob> Jobs;
     Jobs.reserve(Suite.size() * kNumTools);
     for (size_t W = 0; W < Suite.size(); ++W)
-      appendReplayJobs(Traces[W], Jobs);
+      appendReplayJobs(Traces[W], Opts, Jobs);
     std::vector<ReplayResult> Replays = replayTracesParallel(Jobs, Opts.Jobs);
     for (size_t W = 0; W < Suite.size(); ++W)
       fillReplayMetrics(Suite[W], Replays.data() + W * kNumTools, Out[W]);
@@ -542,6 +556,10 @@ BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
       Args.Opts.RecordDir = Argv[I] + 13;
     else if (std::strcmp(Argv[I], "--async-detect") == 0)
       Args.Opts.AsyncDetect = true;
+    else if (std::strcmp(Argv[I], "--no-check-filter") == 0)
+      Args.Opts.CheckFilter = false;
+    else if (std::strncmp(Argv[I], "--workload=", 11) == 0)
+      Args.Workload = Argv[I] + 11;
   }
   if (Args.Opts.Iterations < 0)
     Args.Opts.Iterations = 1;

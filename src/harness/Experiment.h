@@ -43,6 +43,15 @@ struct ToolMetrics {
   uint64_t Races = 0;
   uint64_t PeakShadowBytes = 0;
   uint64_t PeakShadowLocations = 0;
+  /// Check-filter effectiveness (all zero when the filter is off). Kept
+  /// apart from the counter-derived fields above, which must be
+  /// byte-identical with the filter on and off.
+  uint64_t FilterHits = 0;
+  uint64_t FilterMisses = 0;
+  uint64_t FilterInvalidations = 0;
+  /// Filter metadata footprint; Table 2's census adds this to
+  /// PeakShadowBytes so the memory account stays honest.
+  uint64_t FilterTableBytes = 0;
 };
 
 /// All measurements for one workload.
@@ -92,6 +101,9 @@ struct ExperimentOptions {
   /// Run detectors on a dedicated thread per VM (VmOptions::AsyncDetect).
   /// Timing then reports the VmSeconds / DetectorSeconds split per tool.
   bool AsyncDetect = false;
+  /// Epoch-stamped redundant-check elision in front of every detector
+  /// (DESIGN.md Sec. 11); applies to execution and replay legs alike.
+  bool CheckFilter = true;
 };
 
 /// Runs all five detectors (plus the base) on one workload.
@@ -110,11 +122,13 @@ runSuite(SuiteScale Scale,
 double geomeanOverhead(const std::vector<double> &Overheads);
 
 /// Parses --small/--iters=N/--seed=N/--jobs=N/--ast/--replay/--no-replay/
-/// --record-dir=DIR/--async-detect command-line options shared by the
-/// bench binaries.
+/// --record-dir=DIR/--async-detect/--no-check-filter/--workload=NAME
+/// command-line options shared by the bench binaries.
 struct BenchArgs {
   SuiteScale Scale = SuiteScale::Bench;
   ExperimentOptions Opts;
+  /// When non-empty, restrict suite-driven benches to this one workload.
+  std::string Workload;
 };
 BenchArgs parseBenchArgs(int Argc, char **Argv);
 

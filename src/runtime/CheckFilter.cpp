@@ -1,0 +1,125 @@
+//===- CheckFilter.cpp - Dynamic redundant-check elision ------------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CheckFilter.h"
+
+#include <algorithm>
+
+namespace bigfoot {
+
+CheckFilter::FieldEntry *CheckFilter::growFields(Thread &Tab, ObjectId Obj,
+                                                 FieldId First) {
+  const FieldEntry *Old = Tab.fields();
+  size_t OldSlots = Tab.fieldSlots();
+  Tab.FieldShift -= 2; // 4x the slots.
+  std::vector<FieldEntry> Grown(Tab.fieldSlots());
+  // Rehash the generation-valid stamps: a working set larger than the
+  // old table accumulates across growths instead of restarting, which
+  // is the whole point of growing. The first growth copies out of the
+  // inline table; later ones out of the previous heap table.
+  for (size_t I = 0; I != OldSlots; ++I)
+    if (Old[I].Gen == Tab.FieldGen)
+      Grown[fieldSlot(Old[I].Obj, Old[I].Fields[0], Tab.FieldShift)] = Old[I];
+  Grown.swap(Tab.FieldsHeap);
+  Tab.FieldStamps = 0;
+  return &Tab.FieldsHeap[fieldSlot(Obj, First, Tab.FieldShift)];
+}
+
+CheckFilter::ArrayEntry *CheckFilter::growArrays(Thread &Tab, ObjectId Arr) {
+  const ArrayEntry *Old = Tab.arrays();
+  size_t OldSlots = Tab.arraySlots();
+  Tab.ArrayShift -= 2;
+  std::vector<ArrayEntry> Grown(Tab.arraySlots());
+  uint32_t Gen = DirectArrays ? Tab.FieldGen : Tab.ArrGen;
+  for (size_t I = 0; I != OldSlots; ++I)
+    if (Old[I].Gen == Gen)
+      Grown[arraySlot(Old[I].Arr, Tab.ArrayShift)] = Old[I];
+  Grown.swap(Tab.ArraysHeap);
+  Tab.ArrayStamps = 0;
+  return &Tab.ArraysHeap[arraySlot(Arr, Tab.ArrayShift)];
+}
+
+void CheckFilter::stampArray(ObjectId Arr, const StridedRange &R,
+                             AccessKind K) {
+  ArrayEntry *E = PendingArray;
+  if (!E)
+    return;
+  if (E->Arr != Arr || E->Gen != PendingArrayGen) {
+    // Fresh (or evicting) stamp: only the just-applied kind is known to
+    // be absorbed at this generation.
+    Thread &Tab = *PendingArrayTab;
+    if (++Tab.ArrayStamps > Tab.arraySlots() &&
+        Tab.ArrayShift > kArrayShiftMin &&
+        Tab.ArraysDC.Next == DutyCycle::kSleepInit)
+      E = growArrays(Tab, Arr);
+    E->Arr = Arr;
+    E->Gen = PendingArrayGen;
+    E->ReadMask = 0;
+    E->WriteMask = 0;
+    E->ReadR = StridedRange();
+    E->WriteR = StridedRange();
+  }
+  // Per-index bits cover scatter patterns (histogram buckets, stack
+  // slots) that no single strided range can absorb.
+  if (uint64_t Bits = maskBits(R))
+    (K == AccessKind::Write ? E->WriteMask : E->ReadMask) |= Bits;
+  StridedRange &S = K == AccessKind::Write ? E->WriteR : E->ReadR;
+  if (S.empty()) {
+    S = R;
+    return;
+  }
+  // Unit-stride merge fast path: sweeps miss by one element every
+  // check, so the stamp in the common case is "extend the run by R" —
+  // three compares and a store, none of unionWith's stride arithmetic.
+  if (S.stride() == 1 && R.stride() == 1 && R.begin() <= S.end() &&
+      R.end() >= S.begin()) {
+    int64_t Lo = std::min(S.begin(), R.begin());
+    int64_t Hi = std::max(S.end(), R.end());
+    if (Lo < S.begin() || Hi > S.end()) {
+      S = StridedRange(Lo, Hi);
+      ++RangeExtends_;
+    }
+    return;
+  }
+  if (S.covers(R))
+    return;
+  // Widen when the union is again one strided range — this is how the
+  // filter composes with StaticBF's coalesced ranged checks instead of
+  // thrashing on a sweep of adjacent blocks.
+  if (std::optional<StridedRange> U = S.unionWith(R)) {
+    S = *U;
+    ++RangeExtends_;
+  } else if (R.size() > 1 || S.size() < 16) {
+    S = R; // Disjoint pattern: keep the most recent range.
+  }
+  // else: a stray single is not worth destroying a long absorbed run.
+}
+
+void CheckFilter::stampDeferred(ObjectId Arr, AccessKind K,
+                                const StridedRange *Back) {
+  ArrayEntry *E = PendingArray;
+  if (!E || !Back)
+    return;
+  if (E->Arr != Arr || E->Gen != PendingArrayGen) {
+    Thread &Tab = *PendingArrayTab;
+    if (++Tab.ArrayStamps > Tab.arraySlots() &&
+        Tab.ArrayShift > kArrayShiftMin &&
+        Tab.ArraysDC.Next == DutyCycle::kSleepInit)
+      E = growArrays(Tab, Arr);
+    E->Arr = Arr;
+    E->Gen = PendingArrayGen;
+    E->ReadMask = 0;
+    E->WriteMask = 0;
+    E->ReadR = StridedRange();
+    E->WriteR = StridedRange();
+  }
+  // Only unit-stride trailing fragments support the no-op argument; a
+  // strided tail clears the mirror so stale coverage cannot linger.
+  StridedRange &M = K == AccessKind::Write ? E->WriteR : E->ReadR;
+  M = Back->stride() == 1 ? *Back : StridedRange();
+}
+
+} // namespace bigfoot

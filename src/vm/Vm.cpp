@@ -159,12 +159,17 @@ public:
     // a private Stats merged into Result.Counters after the drain (the
     // name sets are disjoint and the map is sorted, so the merged result
     // is byte-identical to a synchronous run's).
-    if (ToolCfg)
+    if (ToolCfg) {
+      DetectorConfig Cfg = *ToolCfg;
+      Cfg.CheckFilter = Opts.CheckFilter;
       Tool = std::make_unique<RaceDetector>(
-          *ToolCfg, Opts.AsyncDetect ? AsyncToolCounters : Result.Counters,
-          Syms);
-    if (Opts.EnableGroundTruth)
-      Gt = std::make_unique<RaceDetector>(fastTrackConfig(), GtCounters, Syms);
+          Cfg, Opts.AsyncDetect ? AsyncToolCounters : Result.Counters, Syms);
+    }
+    if (Opts.EnableGroundTruth) {
+      DetectorConfig GtCfg = fastTrackConfig();
+      GtCfg.CheckFilter = Opts.CheckFilter;
+      Gt = std::make_unique<RaceDetector>(GtCfg, GtCounters, Syms);
+    }
 
     // Wire the event stream: detectors (and an optional recording sink)
     // consume batches from the ring. Placement checks are executed
@@ -211,6 +216,9 @@ public:
       Tool->sampleMemoryNow();
       Result.ToolRaces = Tool->races();
       Result.ToolRacyLocations = Tool->racyLocationKeys();
+      Result.FilterEnabled = Tool->filterEnabled();
+      Result.Filter = Tool->filterStats();
+      Result.FilterTableBytes = Tool->filterTableBytes();
     }
     if (Gt) {
       Result.GroundTruthRaces = Gt->races();

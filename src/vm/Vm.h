@@ -76,6 +76,10 @@ struct VmOptions {
   bool AsyncDetect = false;
   /// Ring depth in batches for AsyncDetect (clamped to >= 2).
   size_t AsyncRingBatches = 16;
+  /// Epoch-stamped redundant-check elision in front of the detectors
+  /// (DESIGN.md Sec. 11). Off = every check runs the full state machine;
+  /// reports and counters are byte-identical either way.
+  bool CheckFilter = true;
 };
 
 /// One entry of the recorded event trace (RecordEventTrace). Location
@@ -113,6 +117,12 @@ struct VmResult {
   /// producer blocked on a full ring.
   uint64_t AsyncBatches = 0;
   uint64_t AsyncStalls = 0;
+  /// Check-filter effectiveness for the tool detector (zeros when the
+  /// filter is off). Kept beside — never inside — Counters, which must
+  /// not differ between filter-on and filter-off runs.
+  bool FilterEnabled = false;
+  CheckFilterStats Filter;
+  uint64_t FilterTableBytes = 0;
 };
 
 /// Runs \p Prog to completion under \p Opts, with \p Tool attached (may be

@@ -1,0 +1,335 @@
+//===- CheckFilterTest.cpp - Redundant-check filter unit tests ---------------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+// The filter's contract has two halves: hits must be exact no-ops (every
+// counter, race, and byte of shadow state identical to the unfiltered
+// run), and every release edge — unlock, volatile write, fork, join,
+// barrier — must force the next access back onto the slow path. The
+// parity tests drive the same event sequence through a filtered and an
+// unfiltered detector and demand identical observable state; the edge
+// tests watch the hit/miss tallies directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Detector.h"
+
+#include <gtest/gtest.h>
+
+using namespace bigfoot;
+
+namespace {
+
+DetectorConfig withFilter(DetectorConfig C, bool On) {
+  C.CheckFilter = On;
+  // These tests exercise the stamp/invalidate protocol directly, so
+  // they probe from the first check instead of sleeping through the
+  // production warmup grant.
+  C.FilterWarmup = 0;
+  return C;
+}
+
+/// Drives \p Seq through a filtered and an unfiltered detector of the
+/// same config and asserts every observable — counters, races, shadow
+/// census — matches byte for byte.
+template <typename SeqFn>
+void expectParity(const DetectorConfig &Cfg, SeqFn Seq) {
+  Stats SOn, SOff;
+  RaceDetector On(withFilter(Cfg, true), SOn);
+  RaceDetector Off(withFilter(Cfg, false), SOff);
+  Seq(On);
+  Seq(Off);
+  On.sampleMemoryNow();
+  Off.sampleMemoryNow();
+  EXPECT_EQ(SOn.all(), SOff.all()) << Cfg.Name;
+  ASSERT_EQ(On.races().size(), Off.races().size()) << Cfg.Name;
+  for (size_t I = 0; I < On.races().size(); ++I)
+    EXPECT_EQ(On.races()[I].str(), Off.races()[I].str()) << Cfg.Name;
+  EXPECT_EQ(On.racyLocationKeys(), Off.racyLocationKeys()) << Cfg.Name;
+}
+
+} // namespace
+
+TEST(CheckFilter, RepeatFieldCheckHits) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  ASSERT_TRUE(D.filterEnabled());
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 0u);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u);
+  // The skipped transitions replicated their shadow ops exactly.
+  EXPECT_EQ(S.get("tool.shadowOps"), 3u);
+}
+
+TEST(CheckFilter, FilterOffIsInert) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), false), S);
+  EXPECT_FALSE(D.filterEnabled());
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().hits(), 0u);
+  EXPECT_EQ(D.filterStats().misses(), 0u);
+  EXPECT_EQ(D.filterTableBytes(), 0u);
+}
+
+TEST(CheckFilter, UnlockInvalidates) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+  D.onAcquire(0, 9); // Acquire-side: stamps survive.
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u);
+  D.onRelease(0, 9); // Release: next access takes the slow path.
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u);
+  EXPECT_GE(D.filterStats().Invalidations, 1u);
+}
+
+TEST(CheckFilter, VolatileWriteInvalidates) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  FieldId V = D.internField("v");
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.onVolatileRead(0, 2, V); // Acquire-side: stamps survive.
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+  D.onVolatileWrite(0, 2, V);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+}
+
+TEST(CheckFilter, ForkInvalidatesParentAndChild) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"g"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"g"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u);
+  D.onFork(0, 1);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"g"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u) << "both sides must slow-path";
+}
+
+TEST(CheckFilter, JoinInvalidatesJoiner) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+  D.onJoin(0, 1);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+}
+
+TEST(CheckFilter, BarrierInvalidatesEveryParty) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"g"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"g"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u);
+  D.onBarrier({0, 1});
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"g"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 2u);
+}
+
+TEST(CheckFilter, ReadAfterWriteStampHits) {
+  // With W = c@t recorded, a same-epoch read is informationally
+  // redundant under the epoch tools...
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Read);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+  // ...but a write never hits a read-only stamp.
+  D.checkFields(0, 1, {"g"}, AccessKind::Read);
+  D.checkFields(0, 1, {"g"}, AccessKind::Write);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+}
+
+TEST(CheckFilter, DjitReadsAreKindExact) {
+  // DJIT+ records reads in a vector clock; skipping one could shrink the
+  // byte census, so read-hits-write-stamp is disabled there.
+  Stats S;
+  RaceDetector D(withFilter(djitConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(0, 1, {"f"}, AccessKind::Read);
+  EXPECT_EQ(D.filterStats().FieldHits, 0u);
+  D.checkFields(0, 1, {"f"}, AccessKind::Read);
+  EXPECT_EQ(D.filterStats().FieldHits, 1u);
+}
+
+TEST(CheckFilter, RacingChecksAreNeverStamped) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.checkFields(1, 1, {"f"}, AccessKind::Write); // Races; not stamped.
+  D.checkFields(1, 1, {"f"}, AccessKind::Write); // Slow path again.
+  EXPECT_EQ(D.filterStats().FieldHits, 0u);
+  EXPECT_EQ(D.races().size(), 1u);
+}
+
+TEST(CheckFilter, DirectArrayCoveredSubrangeHits) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.onArrayAlloc(7, 100);
+  D.checkArrayRange(0, 7, StridedRange(0, 50), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 0u);
+  D.checkArrayRange(0, 7, StridedRange(10, 20), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 1u);
+  // The skipped per-element walk still charged its shadow ops.
+  EXPECT_EQ(S.get("tool.shadowOps"), 60u);
+  // An adjacent range widens the stamp instead of replacing it.
+  D.checkArrayRange(0, 7, StridedRange(50, 60), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().RangeExtends, 1u);
+  D.checkArrayRange(0, 7, StridedRange(0, 60), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 2u);
+  // Release kills array stamps too.
+  D.onRelease(0, 9);
+  D.checkArrayRange(0, 7, StridedRange(10, 20), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 2u);
+}
+
+TEST(CheckFilter, ClippedRangeIsNotStamped) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.onArrayAlloc(7, 10);
+  // Clipped to [0..10): the unfiltered op count differs from the range's
+  // element count, so stamping would let a repeat fake 20 shadow ops.
+  D.checkArrayRange(0, 7, StridedRange(0, 20), AccessKind::Write);
+  D.checkArrayRange(0, 7, StridedRange(0, 20), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 0u);
+  EXPECT_EQ(S.get("tool.shadowOps"), 20u);
+}
+
+TEST(CheckFilter, DeferredInteriorRepeatHits) {
+  // A deferred hit is pure state identity: RangeSet::add of a
+  // unit-stride range strictly interior to the trailing fragment is a
+  // no-op, so the mirror lets the detector skip the pending map while
+  // replicating the add counter exactly.
+  Stats S;
+  RaceDetector D(withFilter(slimStateConfig(), true), S);
+  D.onArrayAlloc(3, 100);
+  D.checkArrayRange(0, 3, StridedRange(0, 50), AccessKind::Write);
+  D.checkArrayRange(0, 3, StridedRange(10, 20), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 1u);
+  // Counter replication: the skipped add still counts as one.
+  EXPECT_EQ(S.get("tool.footprintAdds"), 2u);
+}
+
+TEST(CheckFilter, DeferredHitNeedsStrictlyInteriorBegin) {
+  // Equal begins could stride-merge with a left-neighbor fragment in
+  // RangeSet::add's slow path and restructure the set, so the mirror
+  // only matches strictly interior ranges. Kind is exact: a read of a
+  // write-mirrored range changes the Reads set and must go through.
+  Stats S;
+  RaceDetector D(withFilter(slimStateConfig(), true), S);
+  D.onArrayAlloc(3, 100);
+  D.checkArrayRange(0, 3, StridedRange(0, 50), AccessKind::Write);
+  D.checkArrayRange(0, 3, StridedRange(0, 20), AccessKind::Write);
+  D.checkArrayRange(0, 3, StridedRange(10, 20), AccessKind::Read);
+  EXPECT_EQ(D.filterStats().ArrayHits, 0u);
+  EXPECT_EQ(S.get("tool.footprintAdds"), 3u);
+}
+
+TEST(CheckFilter, DeferredMirrorDiesAtCommit) {
+  // Commits clear the pending footprints; the mirror must not outlive
+  // them, on either the sync-edge or the early-commit path.
+  Stats S;
+  RaceDetector D(withFilter(slimStateConfig(), true), S);
+  D.onArrayAlloc(3, 100);
+  D.checkArrayRange(0, 3, StridedRange(0, 50), AccessKind::Write);
+  D.onAcquire(0, 7); // Commits (and clears) thread 0's footprints.
+  D.checkArrayRange(0, 3, StridedRange(10, 20), AccessKind::Write);
+  EXPECT_EQ(D.filterStats().ArrayHits, 0u);
+  EXPECT_EQ(S.get("tool.footprintAdds"), 2u);
+}
+
+TEST(CheckFilter, DirectSmallIndexScatterHits) {
+  // Scattered singletons below index 64 accumulate in the per-index
+  // bitmap, so a repeat hits even when no single strided range covers
+  // the stamped set.
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.onArrayAlloc(3, 64);
+  D.checkArrayRange(0, 3, StridedRange(3, 4), AccessKind::Write);
+  D.checkArrayRange(0, 3, StridedRange(40, 41), AccessKind::Write);
+  D.checkArrayRange(0, 3, StridedRange(9, 10), AccessKind::Write);
+  uint64_t Before = D.filterStats().ArrayHits;
+  D.checkArrayRange(0, 3, StridedRange(3, 4), AccessKind::Write);
+  D.checkArrayRange(0, 3, StridedRange(40, 41), AccessKind::Read);
+  EXPECT_EQ(D.filterStats().ArrayHits, Before + 2);
+  EXPECT_EQ(S.get("tool.races"), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// On/off parity: the filter must change nothing observable.
+//===----------------------------------------------------------------------===
+
+TEST(CheckFilterParity, FieldChurnAcrossEveryEdge) {
+  for (const DetectorConfig &Cfg :
+       {fastTrackConfig(), djitConfig(), slimStateConfig()}) {
+    expectParity(Cfg, [](RaceDetector &D) {
+      for (int Round = 0; Round < 3; ++Round) {
+        for (int I = 0; I < 4; ++I) {
+          D.checkFields(0, 1, {"f"}, AccessKind::Write);
+          D.checkFields(0, 1, {"f"}, AccessKind::Read);
+          D.checkFields(1, 2, {"g", "h"}, AccessKind::Write);
+        }
+        D.onRelease(0, 9);
+        D.onAcquire(1, 9);
+        D.onVolatileWrite(1, 3, 7);
+        D.onFork(0, 2);
+        D.checkFields(2, 1, {"f"}, AccessKind::Read);
+        D.onJoin(0, 2);
+        D.onBarrier({0, 1});
+      }
+      D.onThreadExit(2);
+    });
+  }
+}
+
+TEST(CheckFilterParity, RacyArraySweeps) {
+  for (const DetectorConfig &Cfg :
+       {fastTrackConfig(), slimStateConfig(), bigFootConfig({}),
+        djitConfig()}) {
+    expectParity(Cfg, [](RaceDetector &D) {
+      D.onArrayAlloc(5, 200);
+      for (int I = 0; I < 3; ++I) {
+        D.checkArrayRange(0, 5, StridedRange(0, 100), AccessKind::Write);
+        D.checkArrayRange(0, 5, StridedRange(20, 60), AccessKind::Write);
+        D.checkArrayRange(0, 5, StridedRange(20, 60), AccessKind::Read);
+      }
+      D.onRelease(0, 9);
+      // Unsynchronized second thread: races on the overlap, including a
+      // covered subrange whose report the filter must not swallow.
+      D.checkArrayRange(1, 5, StridedRange(0, 100), AccessKind::Write);
+      D.checkArrayRange(1, 5, StridedRange(10, 30), AccessKind::Write);
+      D.onThreadExit(1);
+      D.onThreadExit(0);
+    });
+  }
+}
+
+TEST(CheckFilterParity, TableBytesStayOutOfShadowCensus) {
+  Stats S;
+  RaceDetector D(withFilter(fastTrackConfig(), true), S);
+  D.checkFields(0, 1, {"f"}, AccessKind::Write);
+  D.sampleMemoryNow();
+  EXPECT_GT(D.filterTableBytes(), 0u);
+  // The shadow census (golden-checked, on/off-identical) excludes the
+  // filter's own tables; Table 2 adds them via ToolMetrics instead.
+  Stats SOff;
+  RaceDetector Off(withFilter(fastTrackConfig(), false), SOff);
+  Off.checkFields(0, 1, {"f"}, AccessKind::Write);
+  Off.sampleMemoryNow();
+  EXPECT_EQ(S.get("tool.peakShadowBytes"), SOff.get("tool.peakShadowBytes"));
+}

@@ -49,6 +49,11 @@ options:
   --async-detect  run the detector on its own thread behind a bounded
                   batch ring (reports stay identical to sync mode; an
                   [async] line shows the vm/detector time split)
+  --no-check-filter
+                  disable the epoch-stamped redundant-check filter in
+                  front of the detector; reports and counters are
+                  byte-identical either way, only the [filter] line
+                  and the speed change
   --oracle        also run the per-access ground-truth detector
   --stats         dump all counters after the run
 
@@ -86,6 +91,14 @@ int reportRun(const std::string &ToolName, const RunT &Run, bool Oracle,
             << (Accesses ? static_cast<double>(Events) / Accesses : 0.0)
             << " ratio), " << Run.Counters.get("tool.shadowOps")
             << " shadow ops\n";
+  // Deterministic per event stream and config, so replaying a recorded
+  // run reprints it byte for byte — the record/replay smokes depend on
+  // that. Filter-on vs. filter-off diffs must grep it away.
+  if (Run.FilterEnabled)
+    std::cerr << "[filter] " << Run.Filter.hits() << " hit(s), "
+              << Run.Filter.misses() << " miss(es), "
+              << Run.Filter.Invalidations << " invalidation(s), "
+              << Run.Filter.RangeExtends << " range extend(s)\n";
   if (Run.ToolRaces.empty()) {
     std::cerr << "[" << ToolName << "] no races detected\n";
   } else {
@@ -195,6 +208,8 @@ int traceMain(int Argc, char **Argv) {
       VmOpts.CommitIntervalSteps = static_cast<uint64_t>(std::atoll(Arg + 18));
     else if (std::strcmp(Arg, "--async-detect") == 0)
       VmOpts.AsyncDetect = true;
+    else if (std::strcmp(Arg, "--no-check-filter") == 0)
+      VmOpts.CheckFilter = false;
     else if (Arg[0] == '-') {
       std::cerr << "bigfoot: error: unknown trace option '" << Arg << "'\n";
       return 1;
@@ -255,6 +270,7 @@ int traceMain(int Argc, char **Argv) {
     }
     ReplayOptions ROpts;
     ROpts.EnableGroundTruth = Oracle;
+    ROpts.CheckFilter = VmOpts.CheckFilter;
     ReplayResult Run = replayTrace(Reader, Cfg, ROpts);
     return reportRun(Cfg.Name, Run, Oracle, DumpStats);
   }
@@ -340,6 +356,8 @@ int main(int Argc, char **Argv) {
           static_cast<uint64_t>(std::atoll(Arg + 18));
     else if (std::strcmp(Arg, "--async-detect") == 0)
       VmOpts.AsyncDetect = true;
+    else if (std::strcmp(Arg, "--no-check-filter") == 0)
+      VmOpts.CheckFilter = false;
     else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       usage();
       return 0;

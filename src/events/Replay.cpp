@@ -14,33 +14,14 @@
 
 using namespace bigfoot;
 
-ReplayResult bigfoot::replayTrace(TraceReader &Reader,
-                                  const DetectorConfig &Tool,
-                                  const ReplayOptions &Opts) {
-  ReplayResult R;
-  if (!Reader.ok()) {
-    R.Error = Reader.error();
-    return R;
-  }
+namespace {
 
-  // The detector shares the result's Stats exactly as an online run does:
-  // tool.* counters land next to the seeded vm.* ones. Seeding order does
-  // not matter — Stats is a name-keyed map.
-  R.Tool = Tool.Name;
-  DetectorConfig Cfg = Tool;
-  Cfg.CheckFilter = Opts.CheckFilter;
-  RaceDetector D(Cfg, R.Counters, &Reader.symbols());
-  Stats GtCounters; // Oracle counters are discarded online too.
-  std::unique_ptr<RaceDetector> Gt;
-  if (Opts.EnableGroundTruth) {
-    DetectorConfig GtCfg = fastTrackConfig();
-    GtCfg.CheckFilter = Opts.CheckFilter;
-    Gt = std::make_unique<RaceDetector>(GtCfg, GtCounters,
-                                        &Reader.symbols());
-  }
-  DetectorSink Sink(&D, Gt.get());
-
-  size_t Batch = Opts.Batch ? Opts.Batch : 1;
+/// Pumps every decoded batch of \p Reader into \p Sink. True when the
+/// stream decoded cleanly through to a summary; the error (if any) is
+/// already set on \p R.
+bool pumpTrace(TraceReader &Reader, EventSink &Sink, size_t Batch,
+               ReplayResult &R) {
+  Batch = Batch ? Batch : 1;
   std::vector<Event> Buf(Batch);
   std::vector<uint32_t> Payload;
   size_t N;
@@ -51,21 +32,94 @@ ReplayResult bigfoot::replayTrace(TraceReader &Reader,
   if (!Reader.ok()) {
     R.Ok = false;
     R.Error = "trace replay failed: " + Reader.error();
-    return R;
+    return false;
   }
   if (!Reader.summaryReady()) {
     R.Ok = false;
     R.Error = "trace replay failed: stream ended without a summary";
-    return R;
+    return false;
   }
+  return true;
+}
 
-  const TraceSummary &S = Reader.summary();
+/// Folds the recorded run summary (status, output, vm.* counters) into
+/// \p R. Seeding order does not matter — Stats is a name-keyed map.
+void applySummary(const TraceSummary &S, ReplayResult &R) {
   R.Ok = S.Ok;
   R.Error = S.Error;
   R.Output = S.Output;
   R.StatementsExecuted = S.StatementsExecuted;
   for (const auto &[Name, Value] : S.Counters)
     R.Counters.bump(Name, Value);
+}
+
+} // namespace
+
+ReplayResult bigfoot::replayTrace(TraceReader &Reader,
+                                  const DetectorConfig &Tool,
+                                  const ReplayOptions &Opts) {
+  ReplayResult R;
+  if (!Reader.ok()) {
+    R.Error = Reader.error();
+    return R;
+  }
+
+  R.Tool = Tool.Name;
+  DetectorConfig Cfg = Tool;
+  Cfg.CheckFilter = Opts.CheckFilter;
+
+  if (Opts.DetectShards > 0) {
+    // Sharded replay: the fan-out sink owns the detector replicas (and
+    // the oracle lane); the merge reconstructs single-detector results
+    // byte for byte (DESIGN.md Sec. 12).
+    ShardedSink::Options SO;
+    SO.Shards = Opts.DetectShards;
+    SO.RingBatches = Opts.ShardRingBatches;
+    SO.Tool = Cfg;
+    SO.Symbols = &Reader.symbols();
+    if (Opts.EnableGroundTruth) {
+      SO.Oracle = true;
+      SO.OracleCfg = fastTrackConfig();
+      SO.OracleCfg.CheckFilter = Opts.CheckFilter;
+    }
+    ShardedSink Sink(std::move(SO));
+    if (!pumpTrace(Reader, Sink, Opts.Batch, R))
+      return R;
+    Sink.drain();
+    ShardedSink::Merged M = Sink.finish();
+    applySummary(Reader.summary(), R);
+    for (const auto &[Name, Value] : M.Counters.all())
+      R.Counters.bump(Name, Value);
+    R.ToolRaces = std::move(M.Races);
+    R.ToolRacyLocations = std::move(M.RacyLocations);
+    R.FilterEnabled = M.FilterEnabled;
+    R.Filter = M.Filter;
+    R.FilterTableBytes = M.FilterTableBytes;
+    R.GroundTruthRaces = std::move(M.OracleRaces);
+    R.GroundTruthRacyLocations = std::move(M.OracleRacyLocations);
+    R.ShardLanes = std::move(M.Lanes);
+    R.ShardRoutedEvents = M.RoutedEvents;
+    R.ShardBroadcastEvents = M.BroadcastEvents;
+    R.ShardBroadcastCopies = M.BroadcastCopies;
+    R.ShardOrderViolations = M.OrderViolations;
+    return R;
+  }
+
+  // The detector shares the result's Stats exactly as an online run does:
+  // tool.* counters land next to the seeded vm.* ones.
+  RaceDetector D(Cfg, R.Counters, &Reader.symbols());
+  Stats GtCounters; // Oracle counters are discarded online too.
+  std::unique_ptr<RaceDetector> Gt;
+  if (Opts.EnableGroundTruth) {
+    DetectorConfig GtCfg = fastTrackConfig();
+    GtCfg.CheckFilter = Opts.CheckFilter;
+    Gt = std::make_unique<RaceDetector>(GtCfg, GtCounters,
+                                        &Reader.symbols());
+  }
+  DetectorSink Sink(&D, Gt.get());
+  if (!pumpTrace(Reader, Sink, Opts.Batch, R))
+    return R;
+  applySummary(Reader.summary(), R);
 
   D.sampleMemoryNow();
   R.ToolRaces = D.races();

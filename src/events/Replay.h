@@ -19,6 +19,7 @@
 #ifndef BIGFOOT_EVENTS_REPLAY_H
 #define BIGFOOT_EVENTS_REPLAY_H
 
+#include "events/ShardedSink.h"
 #include "events/TraceCodec.h"
 
 #include <functional>
@@ -48,6 +49,13 @@ struct ReplayResult {
   bool FilterEnabled = false;
   CheckFilterStats Filter;
   uint64_t FilterTableBytes = 0;
+  /// Sharded replay only (ReplayOptions::DetectShards > 0); beside
+  /// Counters for the same byte-identity reason as the filter stats.
+  std::vector<ShardLaneStats> ShardLanes;
+  uint64_t ShardRoutedEvents = 0;
+  uint64_t ShardBroadcastEvents = 0;
+  uint64_t ShardBroadcastCopies = 0;
+  uint64_t ShardOrderViolations = 0;
 };
 
 struct ReplayOptions {
@@ -61,6 +69,13 @@ struct ReplayOptions {
   /// property it is not: the replayed detector applies this knob, not
   /// whatever the recording run used.
   bool CheckFilter = true;
+  /// Sharded parallel detection (DESIGN.md Sec. 12): replay the trace
+  /// through N location-partitioned detector workers. 0 = the classic
+  /// single-detector replay. Like the filter, a replay knob, never a
+  /// trace property; results are byte-identical for every shard count.
+  size_t DetectShards = 0;
+  /// Per-lane ring depth for sharded replay (clamped to >= 2).
+  size_t ShardRingBatches = kDefaultAsyncRingBatches;
 };
 
 /// Replays \p Reader (already open()ed) into a fresh detector built from

@@ -1,0 +1,266 @@
+//===- ShardedSink.cpp - Location-partitioned parallel detection ----------===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/ShardedSink.h"
+
+#include "events/DetectorSink.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace bigfoot;
+
+ShardedSink::ShardedSink(Options O)
+    : NumShards(O.Shards < 1 ? 1 : O.Shards) {
+  size_t RingBatches = std::max<size_t>(2, O.RingBatches);
+  Shards.reserve(NumShards);
+  for (size_t S = 0; S < NumShards; ++S) {
+    auto L = std::make_unique<Lane>(RingBatches);
+    L->Detector =
+        std::make_unique<RaceDetector>(O.Tool, L->Counters, O.Symbols);
+    // Redirect memory sampling into the lockstep log; the merge
+    // reconstructs the gauges, so shard Stats stay purely summable.
+    L->Detector->setMemorySampleLog(&L->Samples);
+    Shards.push_back(std::move(L));
+  }
+  if (O.Oracle) {
+    Oracle = std::make_unique<Lane>(RingBatches);
+    Oracle->Detector = std::make_unique<RaceDetector>(
+        O.OracleCfg, Oracle->Counters, O.Symbols);
+    // No sample log: oracle counters are discarded, exactly as the sync
+    // path discards the ground-truth detector's private Stats.
+  }
+  for (auto &L : Shards)
+    L->Worker = std::thread([this, Lp = L.get()] { laneLoop(*Lp); });
+  if (Oracle)
+    Oracle->Worker = std::thread([this] { laneLoop(*Oracle); });
+}
+
+ShardedSink::~ShardedSink() {
+  drain();
+  Stop.store(true, std::memory_order_release);
+  for (auto &L : Shards)
+    L->Ring.wakeConsumer();
+  if (Oracle)
+    Oracle->Ring.wakeConsumer();
+  for (auto &L : Shards)
+    L->Worker.join();
+  if (Oracle)
+    Oracle->Worker.join();
+}
+
+void ShardedSink::stage(Lane &L, const Event &E, const uint32_t *Payload,
+                        uint64_t Seq) {
+  if (!L.Open) {
+    L.Open = &L.Ring.acquireSlot();
+    L.Open->clear();
+  }
+  ShardBatch &B = *L.Open;
+  Event Copy = E;
+  if (E.PayloadCount) {
+    // Rewrite the payload reference against this lane's arena.
+    Copy.PayloadIndex = uint32_t(B.Payload.size());
+    B.Payload.insert(B.Payload.end(), Payload + E.PayloadIndex,
+                     Payload + E.PayloadIndex + E.PayloadCount);
+  } else {
+    Copy.PayloadIndex = 0;
+  }
+  B.Events.push_back(Copy);
+  B.Seq.push_back(Seq);
+  B.Horizon.push_back(L.ProducerLastBroadcast);
+}
+
+void ShardedSink::consumeBatch(const Event *Events, size_t N,
+                               const uint32_t *Payload) {
+  for (size_t I = 0; I < N; ++I) {
+    const Event &E = Events[I];
+    uint64_t Seq = ++NextSeq;
+    bool Broadcast = isBroadcast(E.Kind);
+    if (Oracle && (E.Target & kTargetOracle))
+      stage(*Oracle, E, Payload, Seq);
+    if (E.Target & kTargetTool) {
+      if (Broadcast) {
+        ++BroadcastEvents;
+        for (auto &L : Shards) {
+          stage(*L, E, Payload, Seq);
+          ++BroadcastCopies;
+        }
+      } else {
+        ++RoutedEvents;
+        stage(*Shards[shardOf(E.Obj)], E, Payload, Seq);
+      }
+    }
+    // The horizon advances after staging, so a broadcast event's own
+    // horizon is the broadcast before it.
+    if (Broadcast) {
+      if (E.Target & kTargetTool)
+        for (auto &L : Shards)
+          L->ProducerLastBroadcast = Seq;
+      if (Oracle && (E.Target & kTargetOracle))
+        Oracle->ProducerLastBroadcast = Seq;
+    }
+  }
+  // Publish once per lane per incoming batch: lanes see batch boundaries
+  // no finer than the producer's, keeping per-slot overhead amortized.
+  for (auto &L : Shards)
+    if (L->Open) {
+      L->Ring.publish();
+      L->Open = nullptr;
+    }
+  if (Oracle && Oracle->Open) {
+    Oracle->Ring.publish();
+    Oracle->Open = nullptr;
+  }
+}
+
+void ShardedSink::drain() {
+  for (auto &L : Shards)
+    L->Ring.drain();
+  if (Oracle)
+    Oracle->Ring.drain();
+}
+
+void ShardedSink::laneLoop(Lane &L) {
+  using Clock = std::chrono::steady_clock;
+  RaceDetector &D = *L.Detector;
+  for (;;) {
+    ShardBatch *B = L.Ring.waitPeek(Stop);
+    if (!B)
+      return; // Stop observed with an empty ring: every slot applied.
+    auto T0 = Clock::now();
+    const uint32_t *Words = B->Payload.data();
+    for (size_t I = 0, N = B->Events.size(); I < N; ++I) {
+      const Event &E = B->Events[I];
+      // Ordering invariant: every broadcast this event was published
+      // after must already be applied. The per-lane FIFO makes this
+      // structural; the check turns any future regression into a counted
+      // violation instead of a silent wrong answer.
+      if (L.LastBroadcastSeq != B->Horizon[I])
+        ++L.OrderViolations;
+      D.setEventSeq(B->Seq[I]);
+      applyEvent(D, E, Words);
+      if (isBroadcast(E.Kind))
+        L.LastBroadcastSeq = B->Seq[I];
+    }
+    L.EventsApplied += B->Events.size();
+    L.BusyNs += uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
+            .count());
+    L.Ring.pop();
+  }
+}
+
+ShardedSink::Merged ShardedSink::finish() {
+  Merged M;
+
+  // The run-end sample, in lockstep across shards (the producer appends
+  // it after drain, so every lane has applied its whole stream).
+  for (auto &L : Shards)
+    L->Detector->sampleMemoryNow();
+
+  // Partitioned counters: every tool.* name is bumped in exactly one
+  // shard per contributing event, so summing final values reproduces the
+  // single-detector map (0-valued names never appear, matching a
+  // detector that never bumped them).
+  for (auto &L : Shards)
+    for (const auto &[Name, Value] : L->Counters.all())
+      M.Counters.bump(Name, Value);
+
+  // Peak gauges: recombine sample k across shards — HB bytes are
+  // replica-identical (max is defensive), shadow bytes and locations are
+  // partitioned sums — then take the max over k, exactly what one
+  // detector's gaugeMax over the undivided census computes.
+  size_t MaxSamples = 0;
+  for (auto &L : Shards)
+    MaxSamples = std::max(MaxSamples, L->Samples.size());
+  for (size_t K = 0; K < MaxSamples; ++K) {
+    size_t Hb = 0, Partial = 0, Locs = 0;
+    for (auto &L : Shards) {
+      if (K >= L->Samples.size())
+        continue;
+      const RaceDetector::MemorySample &S = L->Samples[K];
+      Hb = std::max(Hb, S.HbBytes);
+      Partial += S.PartialBytes;
+      Locs += S.Locations;
+    }
+    M.Counters.gaugeMax("tool.peakShadowBytes", Hb + Partial);
+    M.Counters.gaugeMax("tool.peakShadowLocations", Locs);
+  }
+
+  // Races: stable sort on the RaceOrder keys reproduces first-occurrence
+  // stream order (see RaceDetector::RaceOrder for why the sub-event
+  // components break cross-shard commit ties exactly).
+  struct Tagged {
+    RaceDetector::RaceOrder Key;
+    size_t Lane;
+    size_t Idx;
+  };
+  std::vector<Tagged> All;
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    const auto &Keys = Shards[S]->Detector->raceOrder();
+    for (size_t I = 0; I < Keys.size(); ++I)
+      All.push_back({Keys[I], S, I});
+  }
+  std::stable_sort(All.begin(), All.end(), [](const Tagged &A,
+                                              const Tagged &B) {
+    if (A.Key.EventSeq != B.Key.EventSeq)
+      return A.Key.EventSeq < B.Key.EventSeq;
+    if (A.Key.Party != B.Key.Party)
+      return A.Key.Party < B.Key.Party;
+    return A.Key.EntrySeq < B.Key.EntrySeq;
+  });
+  for (const Tagged &T : All)
+    M.Races.push_back(Shards[T.Lane]->Detector->races()[T.Idx]);
+  for (auto &L : Shards) {
+    std::set<std::string> Keys = L->Detector->racyLocationKeys();
+    M.RacyLocations.insert(Keys.begin(), Keys.end());
+  }
+
+  // Filter effectiveness merge; lane accounting for the [shards] summary.
+  // Hit/miss/extend tallies come from routed checks, which land on
+  // exactly one shard's filter — summing reproduces the sync values.
+  // Invalidations count release edges, which are broadcast: every lane's
+  // tally already equals the sync value, so take it from one lane, not N.
+  // Table bytes are genuinely replicated per lane; the sum is the honest
+  // metadata footprint of the sharded run.
+  for (auto &L : Shards) {
+    M.FilterEnabled = M.FilterEnabled || L->Detector->filterEnabled();
+    CheckFilterStats F = L->Detector->filterStats();
+    M.Filter.FieldHits += F.FieldHits;
+    M.Filter.FieldMisses += F.FieldMisses;
+    M.Filter.ArrayHits += F.ArrayHits;
+    M.Filter.ArrayMisses += F.ArrayMisses;
+    M.Filter.Invalidations = F.Invalidations;
+    M.Filter.RangeExtends += F.RangeExtends;
+    M.FilterTableBytes += L->Detector->filterTableBytes();
+
+    ShardLaneStats LS;
+    LS.Events = L->EventsApplied;
+    LS.Batches = L->Ring.published();
+    LS.Stalls = L->Ring.fullStalls();
+    LS.BusyNs = L->BusyNs;
+    M.Lanes.push_back(LS);
+    M.Batches += LS.Batches;
+    M.Stalls += LS.Stalls;
+    M.OrderViolations += L->OrderViolations;
+    M.DetectorSeconds = std::max(M.DetectorSeconds, LS.BusyNs * 1e-9);
+  }
+  if (Oracle) {
+    M.OracleRaces = Oracle->Detector->races();
+    M.OracleRacyLocations = Oracle->Detector->racyLocationKeys();
+    M.OracleLane.Events = Oracle->EventsApplied;
+    M.OracleLane.Batches = Oracle->Ring.published();
+    M.OracleLane.Stalls = Oracle->Ring.fullStalls();
+    M.OracleLane.BusyNs = Oracle->BusyNs;
+    M.Batches += M.OracleLane.Batches;
+    M.Stalls += M.OracleLane.Stalls;
+    M.OrderViolations += Oracle->OrderViolations;
+  }
+  M.RoutedEvents = RoutedEvents;
+  M.BroadcastEvents = BroadcastEvents;
+  M.BroadcastCopies = BroadcastCopies;
+  return M;
+}

@@ -1,0 +1,215 @@
+//===- ShardedSink.h - Location-partitioned parallel detection --*- C++ -*-===//
+//
+// Part of the BigFoot reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded detection backend (DESIGN.md Sec. 12): the typed event
+/// stream fans out to N detector worker threads, each owning a full
+/// RaceDetector replica whose shadow state covers a disjoint partition of
+/// the program's locations. Check events (field checks, array checks,
+/// array allocations) route to exactly one shard by a hash of their
+/// object id — object granularity, so coalesced multi-field checks stay
+/// atomic, per-object slot arrays stay whole, and every partitioned
+/// counter sums across shards to exactly the single-detector value.
+/// Synchronization events (acquire/release, volatiles, fork/join,
+/// barrier, thread lifecycle, periodic commits) are broadcast to every
+/// shard, so each replica's HbState clocks and CheckFilter generations
+/// stay coherent with the shard's own slice of the access stream.
+///
+/// Every event carries a producer-assigned global sequence number through
+/// its shard's SPSC ring, and every staged event additionally carries the
+/// sequence of the last broadcast event staged to that lane (its sync
+/// horizon). A worker checks the horizon against the last broadcast it
+/// applied before touching the detector — the enforcement of the ordering
+/// invariant that a shard never processes an access published after a
+/// sync edge it has not applied yet (structurally guaranteed by the
+/// per-lane FIFO; violations are counted, and the differential tests
+/// assert zero).
+///
+/// finish() merges the shards back into one result that is byte-identical
+/// to the sync/async-1 paths: counters sum (every partitioned counter is
+/// bumped in exactly one shard), peak-memory gauges are reconstructed
+/// from lockstep per-shard sample logs (max of the replicated HB bytes
+/// plus the sum of the partitioned shadow bytes, per sample point), and
+/// races merge by a stable sort on their RaceOrder keys (first-occurrence
+/// stream position).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGFOOT_EVENTS_SHARDEDSINK_H
+#define BIGFOOT_EVENTS_SHARDEDSINK_H
+
+#include "events/EventSink.h"
+#include "events/SpscBatchRing.h"
+#include "runtime/Detector.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bigfoot {
+
+/// One ring slot of the fan-out: an event batch plus the per-event
+/// sequence stamps the merge and the ordering check need.
+struct ShardBatch {
+  std::vector<Event> Events;
+  std::vector<uint32_t> Payload;
+  /// Global stream sequence of each event (1-based, all lanes share the
+  /// numbering).
+  std::vector<uint64_t> Seq;
+  /// Sequence of the last broadcast event staged to this lane before
+  /// each event — the sync edge the event depends on.
+  std::vector<uint64_t> Horizon;
+
+  void clear() {
+    Events.clear();
+    Payload.clear();
+    Seq.clear();
+    Horizon.clear();
+  }
+};
+
+/// Post-drain statistics for one worker lane.
+struct ShardLaneStats {
+  uint64_t Events = 0;  ///< Events applied by this lane.
+  uint64_t Batches = 0; ///< Slots published to this lane's ring.
+  uint64_t Stalls = 0;  ///< Producer blocked on this lane's full ring.
+  uint64_t BusyNs = 0;  ///< Lane thread busy time (waits excluded).
+};
+
+/// EventSink that fans the stream out to per-shard detector workers.
+/// consumeBatch() and drain() must be called from one producer thread;
+/// each shard's detector is touched only by its worker thread until
+/// drain() returns, after which finish() may merge from the producer.
+class ShardedSink final : public EventSink {
+public:
+  struct Options {
+    /// Worker count; clamped to >= 1.
+    size_t Shards = 2;
+    /// Per-lane ring depth in batches (clamped to >= 2).
+    size_t RingBatches = kDefaultAsyncRingBatches;
+    /// Config every shard replica runs (CheckFilter already resolved).
+    DetectorConfig Tool;
+    /// Seeds each replica's field-id namespace (may be null).
+    const SymbolTable *Symbols = nullptr;
+    /// Attach the per-access ground-truth oracle on its own dedicated
+    /// lane. The oracle is never sharded: it receives every
+    /// oracle-targeted event in stream order.
+    bool Oracle = false;
+    DetectorConfig OracleCfg;
+  };
+
+  /// Everything the shards produce, merged back into single-run shape.
+  struct Merged {
+    /// Summed tool.* counters plus the reconstructed peak gauges —
+    /// byte-identical to a single detector's Stats.
+    Stats Counters;
+    std::vector<ReportedRace> Races;
+    std::set<std::string> RacyLocations;
+    bool FilterEnabled = false;
+    CheckFilterStats Filter; ///< Summed across shards.
+    uint64_t FilterTableBytes = 0;
+    std::vector<ReportedRace> OracleRaces;
+    std::set<std::string> OracleRacyLocations;
+    /// Busy seconds of the busiest lane — the detection critical path.
+    double DetectorSeconds = 0;
+    uint64_t Batches = 0; ///< Slots published, all lanes.
+    uint64_t Stalls = 0;  ///< Producer backpressure stalls, all lanes.
+    /// Fan-out accounting: routed events are delivered once, broadcast
+    /// events once per shard. Amplification = deliveries / events.
+    uint64_t RoutedEvents = 0;
+    uint64_t BroadcastEvents = 0;
+    uint64_t BroadcastCopies = 0;
+    /// Sync-horizon check failures across all lanes (must be zero).
+    uint64_t OrderViolations = 0;
+    /// Per-shard lanes, in shard order (oracle lane excluded).
+    std::vector<ShardLaneStats> Lanes;
+    ShardLaneStats OracleLane;
+  };
+
+  /// Spawns the worker threads (one per shard, plus the oracle lane).
+  explicit ShardedSink(Options O);
+
+  /// Drains, stops, and joins every lane.
+  ~ShardedSink() override;
+
+  ShardedSink(const ShardedSink &) = delete;
+  ShardedSink &operator=(const ShardedSink &) = delete;
+
+  size_t shards() const { return NumShards; }
+
+  /// Producer side: splits the batch across the lanes (routing checks,
+  /// broadcasting sync) and publishes one slot per lane that received
+  /// anything. Blocks on any full lane ring (backpressure).
+  void consumeBatch(const Event *Events, size_t N,
+                    const uint32_t *Payload) override;
+
+  /// Blocks until every published slot on every lane has been applied.
+  void drain();
+
+  /// Merges shard results; call once, after drain(), from the producer
+  /// thread. Workers are idle by then, so replica state is safe to read.
+  Merged finish();
+
+private:
+  /// One worker lane: a detector replica behind its own SPSC ring.
+  /// Counters must precede Detector (the detector holds a Stats&).
+  struct Lane {
+    Stats Counters;
+    std::vector<RaceDetector::MemorySample> Samples;
+    std::unique_ptr<RaceDetector> Detector;
+    SpscSlotRing<ShardBatch> Ring;
+    std::thread Worker;
+    /// Consumer side; published to the producer by pop()'s release edge.
+    uint64_t BusyNs = 0;
+    uint64_t EventsApplied = 0;
+    uint64_t LastBroadcastSeq = 0;
+    uint64_t OrderViolations = 0;
+    /// Producer side: slot being staged during the current incoming
+    /// batch, and the horizon for events staged to this lane.
+    ShardBatch *Open = nullptr;
+    uint64_t ProducerLastBroadcast = 0;
+
+    explicit Lane(size_t RingBatches) : Ring(RingBatches) {}
+  };
+
+  /// True for event kinds every shard must see (sync edges, lifecycle,
+  /// commits); false for the location-routed check/alloc kinds.
+  static bool isBroadcast(EventKind K) {
+    return K != EventKind::FieldCheck && K != EventKind::ArrayCheck &&
+           K != EventKind::ArrayAlloc;
+  }
+
+  /// splitmix64 of the object id — the location partition.
+  size_t shardOf(uint64_t Obj) const {
+    uint64_t X = Obj + 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    X ^= X >> 31;
+    return size_t(X % NumShards);
+  }
+
+  void stage(Lane &L, const Event &E, const uint32_t *Payload, uint64_t Seq);
+  void laneLoop(Lane &L);
+
+  size_t NumShards;
+  /// Shard lanes [0, NumShards); the oracle lane, when attached, is a
+  /// separate member so shard indexing stays direct.
+  std::vector<std::unique_ptr<Lane>> Shards;
+  std::unique_ptr<Lane> Oracle;
+  std::atomic<bool> Stop{false};
+  uint64_t NextSeq = 0; ///< Producer-side global event numbering.
+  uint64_t RoutedEvents = 0;
+  uint64_t BroadcastEvents = 0;
+  uint64_t BroadcastCopies = 0;
+};
+
+} // namespace bigfoot
+
+#endif // BIGFOOT_EVENTS_SHARDEDSINK_H

@@ -69,13 +69,17 @@ struct EventBatch {
 /// memory-cheap (16 batches x 256 events x 64 B = 256 KiB worst case).
 inline constexpr size_t kDefaultAsyncRingBatches = 16;
 
-/// Bounded SPSC ring of EventBatch slots. Exactly one producer thread may
+/// Bounded SPSC ring of \p SlotT slots. Exactly one producer thread may
 /// call the producer-side methods and one consumer thread the
 /// consumer-side methods; drain() and stats accessors belong to the
-/// producer side.
-class SpscBatchRing {
+/// producer side. The slot type is a template parameter so the same
+/// cursor/doorbell machinery carries both the plain EventBatch handoff
+/// (AsyncSink) and the sequence-stamped shard batches of the fan-out
+/// sink (ShardedSink) — the protocol is identical, only the payload of
+/// a slot differs. Slots are default-constructed once and recycled.
+template <typename SlotT> class SpscSlotRing {
 public:
-  explicit SpscBatchRing(size_t Batches = kDefaultAsyncRingBatches)
+  explicit SpscSlotRing(size_t Batches = kDefaultAsyncRingBatches)
       : Cap(Batches < 2 ? 2 : Batches), Ring(Cap) {}
 
   size_t capacity() const { return Cap; }
@@ -84,7 +88,7 @@ public:
 
   /// The slot to fill next. Blocks while the ring is full — this is the
   /// backpressure edge: the VM stalls instead of buffering unboundedly.
-  EventBatch &acquireSlot() {
+  SlotT &acquireSlot() {
     uint64_t T = Tail.load(std::memory_order_relaxed);
     if (T - Head.load(std::memory_order_acquire) == Cap) {
       ++FullStalls;
@@ -127,7 +131,7 @@ public:
 
   /// The oldest unretired batch, or null if the ring is empty. Never
   /// blocks.
-  EventBatch *peek() {
+  SlotT *peek() {
     uint64_t H = Head.load(std::memory_order_relaxed);
     if (H == Tail.load(std::memory_order_acquire))
       return nullptr;
@@ -136,8 +140,8 @@ public:
 
   /// Like peek(), but blocks until a batch is available or \p Stop is
   /// observed true with the ring empty (the shutdown edge).
-  EventBatch *waitPeek(const std::atomic<bool> &Stop) {
-    if (EventBatch *B = peek())
+  SlotT *waitPeek(const std::atomic<bool> &Stop) {
+    if (SlotT *B = peek())
       return B;
     std::unique_lock<std::mutex> L(DoorM);
     NotEmptyCv.wait(L, [&] {
@@ -171,7 +175,7 @@ private:
   }
 
   const size_t Cap;
-  std::vector<EventBatch> Ring;
+  std::vector<SlotT> Ring;
   /// Cursors count batches ever published/retired; slot = cursor % Cap.
   /// 64-bit, so wraparound is not a practical concern.
   alignas(64) std::atomic<uint64_t> Tail{0};
@@ -183,6 +187,9 @@ private:
   std::condition_variable NotEmptyCv; ///< Consumer sleeps here.
   std::condition_variable NotFullCv;  ///< Producer / drain sleep here.
 };
+
+/// The original VM-to-detector handoff ring: one EventBatch per slot.
+using SpscBatchRing = SpscSlotRing<EventBatch>;
 
 } // namespace bigfoot
 

@@ -112,6 +112,7 @@ VmOptions vmOptionsFor(const ExperimentOptions &Opts) {
   VmOpts.UseBytecode = Opts.UseBytecode;
   VmOpts.AsyncDetect = Opts.AsyncDetect;
   VmOpts.CheckFilter = Opts.CheckFilter;
+  VmOpts.DetectShards = Opts.DetectShards;
   return VmOpts;
 }
 
@@ -291,6 +292,7 @@ void appendReplayJobs(const PlacementTraces &Traces,
       return replayConfigFor(T, Recorded);
     };
     J.Opts.CheckFilter = Opts.CheckFilter;
+    J.Opts.DetectShards = Opts.DetectShards;
     Jobs.push_back(std::move(J));
   }
 }
@@ -342,6 +344,7 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
     // the VmSeconds / DetectorSeconds split of the best iteration, not
     // the last one.
     double ToolSec = 1e100, BestVm = 0, BestDet = 0;
+    std::vector<ShardLaneStats> BestLanes;
     VmResult Run;
     for (int I = 0; I < Opts.Iterations; ++I) {
       Timer Clk;
@@ -351,6 +354,7 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
         ToolSec = Sec;
         BestVm = Run.VmSeconds;
         BestDet = Run.DetectorSeconds;
+        BestLanes = Run.ShardLanes;
       }
       if (!Run.Ok)
         break;
@@ -365,13 +369,25 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
     M.OverheadX = Out.BaseSeconds > 0
                       ? (ToolSec - Out.BaseSeconds) / Out.BaseSeconds
                       : 0;
-    if (VmOpts.AsyncDetect) {
+    if (VmOpts.AsyncDetect || VmOpts.DetectShards > 0) {
       // The split is the async timing product; the replay leg below would
       // overwrite DetectorSeconds with a different quantity, so skip it.
       M.VmSeconds = BestVm;
       M.DetectorSeconds = BestDet;
     }
-    if (Traces && !VmOpts.AsyncDetect) {
+    if (VmOpts.DetectShards > 0) {
+      // Shard-lane accounting from the same best iteration as the split;
+      // producer-side routing totals are iteration-invariant, so take
+      // them from the last run.
+      for (const ShardLaneStats &L : BestLanes) {
+        M.ShardBusySeconds.push_back(double(L.BusyNs) * 1e-9);
+        M.ShardEvents.push_back(L.Events);
+      }
+      M.ShardRoutedEvents = Run.ShardRoutedEvents;
+      M.ShardBroadcastEvents = Run.ShardBroadcastEvents;
+      M.ShardBroadcastCopies = Run.ShardBroadcastCopies;
+    }
+    if (Traces && !VmOpts.AsyncDetect && VmOpts.DetectShards == 0) {
       const std::vector<uint8_t> &Trace =
           (*Traces)[static_cast<size_t>(kToolPlacement[T])];
       ReplayOptions ROpts;
@@ -556,6 +572,8 @@ BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
       Args.Opts.RecordDir = Argv[I] + 13;
     else if (std::strcmp(Argv[I], "--async-detect") == 0)
       Args.Opts.AsyncDetect = true;
+    else if (std::strncmp(Argv[I], "--detect-shards=", 16) == 0)
+      Args.Opts.DetectShards = static_cast<size_t>(std::atoi(Argv[I] + 16));
     else if (std::strcmp(Argv[I], "--no-check-filter") == 0)
       Args.Opts.CheckFilter = false;
     else if (std::strncmp(Argv[I], "--workload=", 11) == 0)

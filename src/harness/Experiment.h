@@ -52,6 +52,18 @@ struct ToolMetrics {
   /// Filter metadata footprint; Table 2's census adds this to
   /// PeakShadowBytes so the memory account stays honest.
   uint64_t FilterTableBytes = 0;
+  /// Sharded mode only (ExperimentOptions::DetectShards > 0): per-shard
+  /// detector busy seconds and applied event counts from the best timed
+  /// iteration, plus the producer-side broadcast accounting. Like the
+  /// filter stats, kept apart from the counter-derived fields — the
+  /// counter map is byte-identical across shard counts.
+  std::vector<double> ShardBusySeconds;
+  std::vector<uint64_t> ShardEvents;
+  uint64_t ShardRoutedEvents = 0;
+  uint64_t ShardBroadcastEvents = 0;
+  /// Broadcast deliveries (events x shards); amplification ratio is
+  /// (Routed + Copies) / (Routed + Broadcast).
+  uint64_t ShardBroadcastCopies = 0;
 };
 
 /// All measurements for one workload.
@@ -104,6 +116,12 @@ struct ExperimentOptions {
   /// Epoch-stamped redundant-check elision in front of every detector
   /// (DESIGN.md Sec. 11); applies to execution and replay legs alike.
   bool CheckFilter = true;
+  /// Sharded parallel detection (DESIGN.md Sec. 12): fan each run's event
+  /// stream out to N location-partitioned detector workers. 0 = off.
+  /// Implies the async pipeline and takes precedence over AsyncDetect;
+  /// applies to execution and replay legs alike. Counters, races, and
+  /// ratios are byte-identical for every shard count.
+  size_t DetectShards = 0;
 };
 
 /// Runs all five detectors (plus the base) on one workload.
@@ -122,8 +140,8 @@ runSuite(SuiteScale Scale,
 double geomeanOverhead(const std::vector<double> &Overheads);
 
 /// Parses --small/--iters=N/--seed=N/--jobs=N/--ast/--replay/--no-replay/
-/// --record-dir=DIR/--async-detect/--no-check-filter/--workload=NAME
-/// command-line options shared by the bench binaries.
+/// --record-dir=DIR/--async-detect/--detect-shards=N/--no-check-filter/
+/// --workload=NAME command-line options shared by the bench binaries.
 struct BenchArgs {
   SuiteScale Scale = SuiteScale::Bench;
   ExperimentOptions Opts;

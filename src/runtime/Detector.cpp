@@ -74,6 +74,7 @@ void RaceDetector::report(ReportedRace &&Race) {
   if (!Race.OnArray)
     Race.FieldName = Syms.name(Race.Field);
   Races.push_back(std::move(Race));
+  RaceOrderKeys.push_back({CurrentEventSeq, CurrentParty, CurrentEntrySeq});
   Counters.bump("tool.races");
 }
 
@@ -354,8 +355,10 @@ void RaceDetector::checkArrayRange(ThreadId T, ObjectId Arr,
     FpIdx = TC.PendIdx;
   } else {
     auto [Idx, IsNew] = Map.emplaceIdx(Arr);
-    if (IsNew)
+    if (IsNew) {
       PendingBytes += shadowcost::kEntryKeyBytes;
+      Map.item(Idx).Value.EntrySeq = CurrentEventSeq;
+    }
     FpIdx = Idx;
     TC.PendArr = Arr;
     TC.PendIdx = Idx;
@@ -399,11 +402,13 @@ void RaceDetector::commitFootprints(ThreadId T) {
   if (Map.empty())
     return;
   for (auto &Entry : Map) {
+    CurrentEntrySeq = Entry.Value.EntrySeq;
     // Writes first: a write subsumes a read of the same element.
     for (const StridedRange &R : Entry.Value.Writes.ranges())
       applyArray(T, Entry.Key, R, AccessKind::Write);
     for (const StridedRange &R : Entry.Value.Reads.ranges())
       applyArray(T, Entry.Key, R, AccessKind::Read);
+    CurrentEntrySeq = 0;
     CommitsC.bump();
     PendingBytes -= shadowcost::kEntryKeyBytes +
                     (Entry.Value.Reads.fragments() +
@@ -457,8 +462,14 @@ void RaceDetector::onJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void RaceDetector::onBarrier(const std::vector<ThreadId> &Parties) {
-  for (ThreadId T : Parties)
-    commitFootprints(T);
+  // Parties commit in party order; the index is the RaceOrder tiebreak
+  // that keeps commit races from different parties mergeable in this
+  // exact order when the parties' arrays live in different shards.
+  for (size_t I = 0; I < Parties.size(); ++I) {
+    CurrentParty = I;
+    commitFootprints(Parties[I]);
+  }
+  CurrentParty = 0;
   Hb.onBarrier(Parties);
   if (Filter)
     for (ThreadId T : Parties)
@@ -524,6 +535,15 @@ void RaceDetector::sampleMemory() {
 }
 
 void RaceDetector::sampleMemoryNow() {
+  if (SampleLog) {
+    // Sharded mode: defer the gauge to the merge, which needs the
+    // replicated (HB) and partitioned (shadow) components separately
+    // per sample point to reconstruct the undivided peak exactly.
+    SampleLog->push_back(
+        {Hb.memoryBytes(), FieldBytes + ArrayBytes + PendingBytes,
+         shadowLocationCount()});
+    return;
+  }
   Counters.gaugeMax("tool.peakShadowBytes", shadowBytes());
   Counters.gaugeMax("tool.peakShadowLocations", shadowLocationCount());
 }

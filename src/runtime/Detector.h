@@ -165,6 +165,31 @@ public:
   //===--- Results ------------------------------------------------------------
   const std::vector<ReportedRace> &races() const { return Races; }
 
+  /// Where a race sits in the stream, for the sharded merge (DESIGN.md
+  /// Sec. 12): the global sequence of the event whose application
+  /// reported it, plus two sub-event components that break ties when one
+  /// broadcast sync edge commits deferred footprints in several shards at
+  /// once — the barrier party index (threads commit in party order) and
+  /// the global sequence of the routed event that first inserted the
+  /// committed footprint entry (entries commit in insertion order, and
+  /// insertion order restricted to one shard's arrays equals the global
+  /// insertion order restricted to them). Sorting merged races by
+  /// (EventSeq, Party, EntrySeq) — stably, so same-shard same-key races
+  /// keep their apply order — reproduces the single-detector report
+  /// order exactly. All zeros outside sharded runs (setEventSeq unset).
+  struct RaceOrder {
+    uint64_t EventSeq = 0;
+    uint64_t Party = 0;
+    uint64_t EntrySeq = 0;
+  };
+
+  /// Order keys parallel to races().
+  const std::vector<RaceOrder> &raceOrder() const { return RaceOrderKeys; }
+
+  /// Stamps the global stream sequence of the event about to be applied
+  /// (called by the sharded workers before each applyEvent).
+  void setEventSeq(uint64_t Seq) { CurrentEventSeq = Seq; }
+
   /// Racy locations as strings (for differential tests): "obj#N.f" or
   /// "arr#N".
   std::set<std::string> racyLocationKeys() const;
@@ -186,6 +211,26 @@ public:
 
   /// Unthrottled sample, for run end / thread exit.
   void sampleMemoryNow();
+
+  /// One memory sample, split the way the sharded merge needs it: the HB
+  /// component is replicated per shard (counted once, as a max), the
+  /// shadow component is partitioned (summed across shards).
+  struct MemorySample {
+    size_t HbBytes = 0;      ///< Hb.memoryBytes() — replica-identical.
+    size_t PartialBytes = 0; ///< Field + array + pending — partitioned.
+    size_t Locations = 0;    ///< shadowLocationCount() — partitioned.
+  };
+
+  /// Redirects memory sampling into \p Log instead of the gauge counters.
+  /// Sample points are driven entirely by broadcast synchronization events
+  /// plus the run-end sample, so every shard of a sharded run appends the
+  /// same number of samples at the same stream positions; the merge
+  /// recombines sample k across shards as max(HbBytes) + sum(PartialBytes)
+  /// and takes the gauge max over k — byte-identical to a single detector
+  /// sampling the undivided shadow state (DESIGN.md Sec. 12).
+  void setMemorySampleLog(std::vector<MemorySample> *Log) {
+    SampleLog = Log;
+  }
 
   /// The arena backing every inflated clock of this detector's shadow
   /// locations (bench/test introspection).
@@ -248,6 +293,9 @@ private:
   struct Footprint {
     RangeSet Reads;
     RangeSet Writes;
+    /// Global sequence of the event that inserted this entry (sharded
+    /// runs; 0 otherwise). Not part of the shadow-byte cost model.
+    uint64_t EntrySeq = 0;
   };
   /// Indexed by thread; each map is keyed by array id. Commit iterates in
   /// insertion order and clears the map wholesale.
@@ -302,7 +350,16 @@ private:
 
   std::vector<ReportedRace> Races;
   std::set<RaceKey> RaceKeys;
+  std::vector<RaceOrder> RaceOrderKeys; ///< Parallel to Races.
   uint64_t MemorySampleTick = 0;
+  /// Non-null in sharded runs: samples are logged, not gauged.
+  std::vector<MemorySample> *SampleLog = nullptr;
+  /// Stream position of the event being applied (sharded runs only).
+  uint64_t CurrentEventSeq = 0;
+  /// Barrier party index while onBarrier commits its parties.
+  uint64_t CurrentParty = 0;
+  /// EntrySeq of the footprint entry commitFootprints is applying.
+  uint64_t CurrentEntrySeq = 0;
 
   // Incremental censuses behind shadowBytes()/shadowLocationCount().
   size_t FieldBytes = 0;

@@ -159,26 +159,46 @@ public:
     // a private Stats merged into Result.Counters after the drain (the
     // name sets are disjoint and the map is sorted, so the merged result
     // is byte-identical to a synchronous run's).
-    if (ToolCfg) {
+    // Sharded detection (DESIGN.md Sec. 12) owns its detector replicas
+    // (and the oracle lane) internally; it needs a tool config to
+    // partition, so a detector-less run falls back to the older paths.
+    bool UseSharded = Opts.DetectShards > 0 && ToolCfg != nullptr;
+    if (ToolCfg && !UseSharded) {
       DetectorConfig Cfg = *ToolCfg;
       Cfg.CheckFilter = Opts.CheckFilter;
       Tool = std::make_unique<RaceDetector>(
           Cfg, Opts.AsyncDetect ? AsyncToolCounters : Result.Counters, Syms);
     }
-    if (Opts.EnableGroundTruth) {
+    if (Opts.EnableGroundTruth && !UseSharded) {
       DetectorConfig GtCfg = fastTrackConfig();
       GtCfg.CheckFilter = Opts.CheckFilter;
       Gt = std::make_unique<RaceDetector>(GtCfg, GtCounters, Syms);
+    }
+    if (UseSharded) {
+      ShardedSink::Options SO;
+      SO.Shards = Opts.DetectShards;
+      SO.RingBatches = std::max<size_t>(2, Opts.AsyncRingBatches);
+      SO.Tool = *ToolCfg;
+      SO.Tool.CheckFilter = Opts.CheckFilter;
+      SO.Symbols = Syms;
+      if (Opts.EnableGroundTruth) {
+        SO.Oracle = true;
+        SO.OracleCfg = fastTrackConfig();
+        SO.OracleCfg.CheckFilter = Opts.CheckFilter;
+      }
+      Sharded = std::make_unique<ShardedSink>(std::move(SO));
     }
 
     // Wire the event stream: detectors (and an optional recording sink)
     // consume batches from the ring. Placement checks are executed
     // whenever anything wants them — a recording run without a detector
     // must behave exactly like a detector-attached run.
-    EmitTool = Tool != nullptr || Opts.RecordSink != nullptr;
-    EmitOracle = Gt != nullptr;
+    EmitTool = ToolCfg != nullptr || Opts.RecordSink != nullptr;
+    EmitOracle = Opts.EnableGroundTruth;
     Detectors.bind(Tool.get(), Gt.get());
-    if (!Detectors.empty()) {
+    if (Sharded) {
+      Tee.add(Sharded.get());
+    } else if (!Detectors.empty()) {
       if (Opts.AsyncDetect) {
         Async = std::make_unique<AsyncSink>(
             Detectors, std::max<size_t>(2, Opts.AsyncRingBatches));
@@ -208,6 +228,29 @@ public:
       Result.DetectorSeconds = Async->detectorSeconds();
       Result.AsyncBatches = Async->batchesConsumed();
       Result.AsyncStalls = Async->producerStalls();
+    }
+    if (Sharded) {
+      Sharded->drain();
+      ShardedSink::Merged M = Sharded->finish();
+      Result.DetectorSeconds = M.DetectorSeconds;
+      Result.AsyncBatches = M.Batches;
+      Result.AsyncStalls = M.Stalls;
+      Result.ToolRaces = std::move(M.Races);
+      Result.ToolRacyLocations = std::move(M.RacyLocations);
+      Result.FilterEnabled = M.FilterEnabled;
+      Result.Filter = M.Filter;
+      Result.FilterTableBytes = M.FilterTableBytes;
+      Result.GroundTruthRaces = std::move(M.OracleRaces);
+      Result.GroundTruthRacyLocations = std::move(M.OracleRacyLocations);
+      Result.ShardLanes = std::move(M.Lanes);
+      Result.ShardRoutedEvents = M.RoutedEvents;
+      Result.ShardBroadcastEvents = M.BroadcastEvents;
+      Result.ShardBroadcastCopies = M.BroadcastCopies;
+      Result.ShardOrderViolations = M.OrderViolations;
+      // Merged shard counters fold in exactly like the async fold below:
+      // final values only, disjoint from the vm.* names.
+      for (const auto &[Name, Value] : M.Counters.all())
+        Result.Counters.bump(Name, Value);
     }
     Result.Ok = Error.empty();
     Result.Error = Error;
@@ -249,6 +292,8 @@ private:
   /// Declared after the detectors it feeds so destruction joins the
   /// detector thread before anything it references dies.
   std::unique_ptr<AsyncSink> Async;
+  /// Sharded backend (owns its detector replicas and worker threads).
+  std::unique_ptr<ShardedSink> Sharded;
   bool EmitTool = false;   ///< Placement checks / commits wanted.
   bool EmitOracle = false; ///< Per-access ground-truth events wanted.
 

@@ -31,6 +31,7 @@
 
 #include "bfj/Program.h"
 #include "events/EventSink.h"
+#include "events/ShardedSink.h"
 #include "runtime/Detector.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
@@ -76,6 +77,13 @@ struct VmOptions {
   bool AsyncDetect = false;
   /// Ring depth in batches for AsyncDetect (clamped to >= 2).
   size_t AsyncRingBatches = 16;
+  /// Sharded parallel detection (DESIGN.md Sec. 12): fan the event
+  /// stream out to N detector worker threads partitioned by location.
+  /// 0 = off (sync, or the single-thread AsyncSink when AsyncDetect);
+  /// > 0 implies the async pipeline and takes precedence over
+  /// AsyncDetect. Reports and counters are byte-identical to the
+  /// sync path for every shard count.
+  size_t DetectShards = 0;
   /// Epoch-stamped redundant-check elision in front of the detectors
   /// (DESIGN.md Sec. 11). Off = every check runs the full state machine;
   /// reports and counters are byte-identical either way.
@@ -123,6 +131,17 @@ struct VmResult {
   bool FilterEnabled = false;
   CheckFilterStats Filter;
   uint64_t FilterTableBytes = 0;
+  /// Sharded mode only (DetectShards > 0); empty/zero otherwise. Kept
+  /// beside Counters for the same reason as the filter stats: the
+  /// counter map must stay byte-identical across dispatch modes.
+  std::vector<ShardLaneStats> ShardLanes;
+  uint64_t ShardRoutedEvents = 0;
+  uint64_t ShardBroadcastEvents = 0;
+  /// Broadcast deliveries (events x shards); the amplification ratio is
+  /// (Routed + Copies) / (Routed + Broadcast).
+  uint64_t ShardBroadcastCopies = 0;
+  /// Sync-horizon ordering-check failures (must be zero).
+  uint64_t ShardOrderViolations = 0;
 };
 
 /// Runs \p Prog to completion under \p Opts, with \p Tool attached (may be

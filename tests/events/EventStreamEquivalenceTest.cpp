@@ -140,6 +140,23 @@ TEST(EventStreamEquivalence, DispatchModesAgreeEverywhere) {
         VmResult Async = runProgram(*IP.Prog, IP.Tool, AsyncOpts);
         expectSameRun(Tag + " inline-vs-async", Inline, Async);
 
+        // Sharded detection (DESIGN.md Sec. 12): the same stream fanned
+        // out to location-partitioned detector workers, merged back.
+        // Two shards at Test scale exercises routing, broadcast, and
+        // the merge on every cell of the grid.
+        VmOptions ShardOpts;
+        ShardOpts.Seed = Seed;
+        ShardOpts.EnableGroundTruth = true;
+        ShardOpts.DetectShards = 2;
+        ShardOpts.EventBatch = 64;
+        ShardOpts.AsyncRingBatches = 4;
+        VmResult Sharded = runProgram(*IP.Prog, IP.Tool, ShardOpts);
+        expectSameRun(Tag + " inline-vs-sharded2", Inline, Sharded);
+        EXPECT_EQ(Sharded.ShardOrderViolations, 0u) << Tag;
+        EXPECT_EQ(Sharded.ShardBroadcastCopies,
+                  Sharded.ShardBroadcastEvents * 2)
+            << Tag;
+
         // Offline replay of the recorded trace, batched...
         ReplayOptions RO;
         RO.EnableGroundTruth = true;
@@ -160,6 +177,21 @@ TEST(EventStreamEquivalence, DispatchModesAgreeEverywhere) {
         EXPECT_EQ(Rep.Counters.all(), Rep1.Counters.all()) << Tag;
         EXPECT_EQ(Rep.ToolRacyLocations, Rep1.ToolRacyLocations) << Tag;
         EXPECT_EQ(Rep.EventsReplayed, Rep1.EventsReplayed) << Tag;
+
+        // Sharded replay: the shard count is a replay knob like the
+        // filter, and any count must replay the trace byte-identically.
+        TraceReader ShardReader;
+        ASSERT_TRUE(ShardReader.open(Writer.buffer().data(),
+                                     Writer.buffer().size()))
+            << Tag << ": " << ShardReader.error();
+        ReplayOptions ShardRO;
+        ShardRO.EnableGroundTruth = true;
+        ShardRO.DetectShards = 3;
+        ReplayResult RepSharded =
+            replayTrace(ShardReader, ShardReader.config(), ShardRO);
+        expectReplayMatches(Tag + " batched-vs-sharded-replay", Batched,
+                            RepSharded);
+        EXPECT_EQ(RepSharded.ShardOrderViolations, 0u) << Tag;
       }
     }
   }
@@ -227,6 +259,62 @@ TEST(EventStreamEquivalence, CheckFilterOnOffAgreeEverywhere) {
         EXPECT_EQ(On.Filter.misses(), RepOn.Filter.misses()) << Tag;
         EXPECT_EQ(On.Filter.Invalidations, RepOn.Filter.Invalidations)
             << Tag;
+      }
+    }
+  }
+}
+
+// Deterministic race-report merging: seeded racy workloads put races on
+// locations that hash to different shards, and every shard count —
+// including repeated runs of the same count — must produce reports and
+// counters byte-identical to the synchronous path. The deferred-array
+// configs matter most here: their races surface while a broadcast sync
+// edge commits footprints in several shards at once, which is exactly
+// the cross-shard ordering the RaceOrder merge keys exist for.
+TEST(EventStreamEquivalence, ShardedMergeDeterministicAcrossShardCounts) {
+  const size_t ShardCounts[] = {1, 2, 4, 8};
+  for (const Workload &W : racyVariants()) {
+    ParseResult PR = parseProgram(W.Source);
+    ASSERT_TRUE(PR.ok()) << W.Name << ": " << PR.Error;
+    PR.Prog->internSymbols();
+    for (const InstrumentedProgram &IP : allSixConfigs(*PR.Prog)) {
+      std::string Tag = W.Name + "/" + IP.Tool.Name + "/sharded-merge";
+
+      VmOptions Opts;
+      Opts.Seed = 2;
+      Opts.EnableGroundTruth = true;
+      VmResult Sync = runProgram(*IP.Prog, IP.Tool, Opts); // Shards = 0.
+
+      for (size_t Shards : ShardCounts) {
+        VmOptions SO = Opts;
+        SO.DetectShards = Shards;
+        SO.EventBatch = 32;   // Small batches: publication churn.
+        SO.AsyncRingBatches = 2; // Shallow rings: backpressure fires.
+        VmResult A = runProgram(*IP.Prog, IP.Tool, SO);
+        expectSameRun(Tag + " sync-vs-shards" + std::to_string(Shards),
+                      Sync, A);
+        // The merged filter line is part of the CLI report the byte-diff
+        // smokes compare: hit/miss/extend tallies partition across the
+        // lanes (routed checks) and invalidations are broadcast-driven
+        // (every lane equals sync), so all must reproduce exactly.
+        EXPECT_EQ(A.Filter.hits(), Sync.Filter.hits()) << Tag;
+        EXPECT_EQ(A.Filter.misses(), Sync.Filter.misses()) << Tag;
+        EXPECT_EQ(A.Filter.Invalidations, Sync.Filter.Invalidations) << Tag;
+        EXPECT_EQ(A.Filter.RangeExtends, Sync.Filter.RangeExtends) << Tag;
+        EXPECT_EQ(A.ShardOrderViolations, 0u) << Tag;
+        EXPECT_EQ(A.ShardBroadcastCopies, A.ShardBroadcastEvents * Shards)
+            << Tag;
+        EXPECT_EQ(A.ShardLanes.size(), Shards) << Tag;
+        uint64_t LaneEvents = 0;
+        for (const ShardLaneStats &L : A.ShardLanes)
+          LaneEvents += L.Events;
+        EXPECT_EQ(LaneEvents, A.ShardRoutedEvents + A.ShardBroadcastCopies)
+            << Tag;
+
+        // Run-to-run determinism at the same count: the merge may not
+        // depend on worker scheduling.
+        VmResult B = runProgram(*IP.Prog, IP.Tool, SO);
+        expectSameRun(Tag + " rerun-shards" + std::to_string(Shards), A, B);
       }
     }
   }

@@ -13,6 +13,7 @@
 
 #include "events/AsyncSink.h"
 #include "events/EventSink.h"
+#include "events/ShardedSink.h"
 #include "events/SpscBatchRing.h"
 
 #include <gtest/gtest.h>
@@ -130,6 +131,86 @@ TEST(SpscBatchRing, StressRandomizedBatchesKeepOrder) {
   EXPECT_EQ(Ring.published(), BatchesSent);
 }
 
+// The shutdown edge under the sanitizers: the producer publishes its
+// final batches and immediately sets Stop + wakes — no drain() — so the
+// stop signal races the consumer's last waitPeek/pop round. The
+// publish-before-Stop release ordering is the contract under test: a
+// consumer that observes Stop with an empty ring must already have seen
+// every published batch, so nothing can be lost on any interleaving.
+// Many short rounds vary where the race lands (consumer asleep, mid-pop,
+// between peek and wait).
+TEST(SpscBatchRing, StopSignalRacesFinalPublish) {
+  for (int Round = 0; Round < 200; ++Round) {
+    SpscBatchRing Ring(2);
+    std::atomic<bool> Stop{false};
+    std::atomic<uint64_t> Consumed{0};
+    std::thread Consumer([&] {
+      for (;;) {
+        EventBatch *B = Ring.waitPeek(Stop);
+        if (!B)
+          return; // Stop observed with an empty ring: nothing more comes.
+        Consumed.fetch_add(B->Events.size(), std::memory_order_relaxed);
+        Ring.pop();
+      }
+    });
+    uint64_t Sent = 0;
+    size_t Batches = 1 + size_t(Round) % 7;
+    std::vector<Event> Evs;
+    for (size_t B = 0; B < Batches; ++B) {
+      Evs.clear();
+      size_t N = 1 + (size_t(Round) + B) % 5;
+      for (size_t I = 0; I < N; ++I)
+        Evs.push_back(seqEvent(Sent++));
+      EventBatch &Slot = Ring.acquireSlot();
+      Slot.assign(Evs.data(), Evs.size(), nullptr);
+      Ring.publish();
+    }
+    Stop.store(true, std::memory_order_release);
+    Ring.wakeConsumer();
+    Consumer.join();
+    ASSERT_EQ(Consumed.load(), Sent) << "round " << Round;
+  }
+}
+
+// Ring destruction while the consumer thread is mid-batch: the owner
+// (here playing AsyncSink's destructor sequence) must drain, signal, and
+// join before the ring's storage goes away, every round, with a slow
+// consumer guaranteeing destruction overlaps active consumption.
+TEST(SpscBatchRing, DestructionBehindDrainJoinsActiveConsumer) {
+  for (int Round = 0; Round < 30; ++Round) {
+    uint64_t Consumed = 0, Sent = 0;
+    {
+      SpscBatchRing Ring(2);
+      std::atomic<bool> Stop{false};
+      std::thread Consumer([&] {
+        for (;;) {
+          EventBatch *B = Ring.waitPeek(Stop);
+          if (!B)
+            return;
+          // Slow apply: the producer's drain overlaps a busy consumer.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          Consumed += B->Events.size();
+          Ring.pop();
+        }
+      });
+      std::vector<Event> Evs;
+      for (size_t B = 0; B < 4; ++B) {
+        Evs.clear();
+        for (size_t I = 0; I < 3; ++I)
+          Evs.push_back(seqEvent(Sent++));
+        EventBatch &Slot = Ring.acquireSlot();
+        Slot.assign(Evs.data(), Evs.size(), nullptr);
+        Ring.publish();
+      }
+      Ring.drain();
+      Stop.store(true, std::memory_order_release);
+      Ring.wakeConsumer();
+      Consumer.join();
+    } // Ring destroyed here; the join above must have made that safe.
+    ASSERT_EQ(Consumed, Sent) << "round " << Round;
+  }
+}
+
 // drain() on a never-used ring returns immediately, and a sub-minimum
 // capacity is clamped rather than rejected.
 TEST(SpscBatchRing, DrainOnEmptyAndCapacityClamp) {
@@ -199,6 +280,27 @@ TEST(AsyncSink, BackpressureThrottlesWithoutLoss) {
   EXPECT_EQ(Downstream.Seen.load(), Sent);
 }
 
+// The sink destroyed while its worker is provably mid-batch, many
+// rounds: no drain() call, a slow downstream, and a shallow ring mean
+// the destructor's drain/stop/join sequence always lands on an active
+// consumer. Every published event must still reach the downstream sink
+// before the destructor returns — shutdown may never drop work.
+TEST(AsyncSink, DestructorRacesActiveConsumerManyRounds) {
+  for (int Round = 0; Round < 50; ++Round) {
+    SlowSink Downstream;
+    uint64_t Sent = 0;
+    {
+      AsyncSink Async(Downstream, 2);
+      Event E = seqEvent(0);
+      for (int B = 0; B < 5; ++B) {
+        Async.consumeBatch(&E, 1, nullptr);
+        ++Sent;
+      }
+    } // No drain(): the destructor owns the full shutdown handshake.
+    ASSERT_EQ(Downstream.Seen.load(), Sent) << "round " << Round;
+  }
+}
+
 // Empty batches are dropped at the producer side; destruction without
 // drain() still delivers everything published.
 TEST(AsyncSink, EmptyBatchesAndDestructorDrain) {
@@ -211,6 +313,97 @@ TEST(AsyncSink, EmptyBatchesAndDestructorDrain) {
   } // No explicit drain: the destructor must flush the ring.
   ASSERT_EQ(Downstream.Events.size(), 1u);
   EXPECT_EQ(Downstream.Events[0].Aux, 1u);
+}
+
+//===--- ShardedSink ----------------------------------------------------------
+
+// The fan-out sink's destructor without finish(): N worker lanes (and an
+// oracle lane) are joined mid-stream, with shallow rings so teardown
+// overlaps busy workers. Exercised across shard counts and many rounds
+// so the sanitizer jobs see every lane-shutdown interleaving; finish()'s
+// merge is deliberately skipped — abandoning a sharded run must still
+// shut down cleanly.
+TEST(ShardedSink, DestructorWithoutFinishJoinsAllLanes) {
+  for (int Round = 0; Round < 24; ++Round) {
+    ShardedSink::Options SO;
+    SO.Shards = 1 + size_t(Round) % 4;
+    SO.RingBatches = 2;
+    SO.Tool = fastTrackConfig();
+    SO.Oracle = Round % 2 == 0;
+    SO.OracleCfg = fastTrackConfig();
+    ShardedSink Sink(std::move(SO));
+
+    // A mix of routed checks (spread over objects, so every lane gets
+    // work) and broadcast sync edges, in several small batches.
+    std::vector<Event> Batch;
+    std::vector<uint32_t> Payload;
+    for (int B = 0; B < 6; ++B) {
+      Batch.clear();
+      Payload.clear();
+      for (uint64_t I = 0; I < 16; ++I) {
+        Event E;
+        E.Tid = 1;
+        E.Target = kTargetBoth;
+        if (I % 8 == 7) {
+          E.Kind = I % 16 == 7 ? EventKind::Acquire : EventKind::Release;
+          E.Obj = 100;
+        } else {
+          E.Kind = EventKind::FieldCheck;
+          E.Obj = 1 + (uint64_t(B) * 16 + I) % 13;
+          E.PayloadIndex = uint32_t(Payload.size());
+          E.PayloadCount = 1;
+          Payload.push_back(uint32_t(I % 3));
+        }
+        Batch.push_back(E);
+      }
+      Sink.consumeBatch(Batch.data(), Batch.size(), Payload.data());
+    }
+  } // Destructor: drain + stop + join every lane, no finish().
+}
+
+// finish() after the same traffic is complete and deterministic: the
+// merged counters must partition-sum identically no matter how lane
+// scheduling interleaved, and the ordering invariant must hold.
+TEST(ShardedSink, FinishAfterBroadcastHeavyTrafficIsDeterministic) {
+  Stats Reference;
+  for (int Round = 0; Round < 8; ++Round) {
+    ShardedSink::Options SO;
+    SO.Shards = 3;
+    SO.RingBatches = 2;
+    SO.Tool = fastTrackConfig();
+    ShardedSink Sink(std::move(SO));
+    std::vector<Event> Batch;
+    std::vector<uint32_t> Payload;
+    for (int B = 0; B < 8; ++B) {
+      Batch.clear();
+      Payload.clear();
+      for (uint64_t I = 0; I < 12; ++I) {
+        Event E;
+        E.Tid = 1;
+        if (I % 4 == 3) {
+          E.Kind = I % 8 == 3 ? EventKind::Acquire : EventKind::Release;
+          E.Obj = 42;
+        } else {
+          E.Kind = EventKind::FieldCheck;
+          E.Obj = 1 + (uint64_t(B) * 12 + I) % 7;
+          E.PayloadIndex = uint32_t(Payload.size());
+          E.PayloadCount = 1;
+          Payload.push_back(uint32_t(I % 2));
+        }
+        Batch.push_back(E);
+      }
+      Sink.consumeBatch(Batch.data(), Batch.size(), Payload.data());
+    }
+    Sink.drain();
+    ShardedSink::Merged M = Sink.finish();
+    EXPECT_EQ(M.OrderViolations, 0u) << "round " << Round;
+    EXPECT_EQ(M.BroadcastCopies, M.BroadcastEvents * 3) << "round " << Round;
+    if (Round == 0)
+      Reference = M.Counters;
+    else
+      EXPECT_TRUE(M.Counters.all() == Reference.all())
+          << "round " << Round << ": merged counters diverged";
+  }
 }
 
 //===--- EventRing edge cases -------------------------------------------------

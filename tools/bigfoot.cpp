@@ -49,6 +49,13 @@ options:
   --async-detect  run the detector on its own thread behind a bounded
                   batch ring (reports stay identical to sync mode; an
                   [async] line shows the vm/detector time split)
+  --detect-shards=N
+                  fan detection out to N location-partitioned detector
+                  workers with sync-edge broadcast (implies the async
+                  pipeline, takes precedence over --async-detect;
+                  reports stay byte-identical for every N; a [shards]
+                  line shows the per-lane split). Also accepted by
+                  trace record and trace replay.
   --no-check-filter
                   disable the epoch-stamped redundant-check filter in
                   front of the detector; reports and counters are
@@ -115,14 +122,43 @@ int reportRun(const std::string &ToolName, const RunT &Run, bool Oracle,
   return Run.ToolRaces.empty() ? 0 : 2;
 }
 
+/// Sharded-mode lane summary on stderr. Works for online VmResult and
+/// offline ReplayResult alike (both carry the Shard* fields); prefixed
+/// like the [async] line so byte-diff consumers can filter it.
+template <typename RunT>
+void reportShards(size_t Shards, const RunT &Run) {
+  if (Shards == 0)
+    return;
+  // Amplification: deliveries per emitted event — sync edges fan out to
+  // every lane, routed checks land on exactly one.
+  uint64_t Emitted = Run.ShardRoutedEvents + Run.ShardBroadcastEvents;
+  uint64_t Delivered = Run.ShardRoutedEvents + Run.ShardBroadcastCopies;
+  std::cerr << "[shards] " << Run.ShardLanes.size() << " lane(s), "
+            << Run.ShardRoutedEvents << " routed + "
+            << Run.ShardBroadcastEvents << " broadcast event(s), "
+            << (Emitted ? static_cast<double>(Delivered) / Emitted : 1.0)
+            << "x amplification\n";
+  for (size_t I = 0; I < Run.ShardLanes.size(); ++I) {
+    const ShardLaneStats &L = Run.ShardLanes[I];
+    std::cerr << "[shards]   lane " << I << ": " << L.Events
+              << " event(s), " << static_cast<double>(L.BusyNs) * 1e-9
+              << "s busy, " << L.Stalls << " stall(s)\n";
+  }
+  if (Run.ShardOrderViolations)
+    std::cerr << "[shards] WARNING: " << Run.ShardOrderViolations
+              << " ordering violation(s)\n";
+}
+
 /// Async-mode timing split on stderr, prefixed so byte-diff consumers can
-/// filter it exactly like the [trace] line.
+/// filter it exactly like the [trace] line. Sharded mode pipelines too,
+/// so it gets the same split plus its [shards] lane summary.
 void reportAsync(const VmOptions &Opts, const VmResult &Run) {
-  if (!Opts.AsyncDetect)
+  if (!Opts.AsyncDetect && Opts.DetectShards == 0)
     return;
   std::cerr << "[async] vm " << Run.VmSeconds << "s, detector "
             << Run.DetectorSeconds << "s, " << Run.AsyncBatches
             << " batch(es), " << Run.AsyncStalls << " stall(s)\n";
+  reportShards(Opts.DetectShards, Run);
 }
 
 /// Instruments \p Prog for the named tool; false on an unknown name.
@@ -208,6 +244,8 @@ int traceMain(int Argc, char **Argv) {
       VmOpts.CommitIntervalSteps = static_cast<uint64_t>(std::atoll(Arg + 18));
     else if (std::strcmp(Arg, "--async-detect") == 0)
       VmOpts.AsyncDetect = true;
+    else if (std::strncmp(Arg, "--detect-shards=", 16) == 0)
+      VmOpts.DetectShards = static_cast<size_t>(std::atoi(Arg + 16));
     else if (std::strcmp(Arg, "--no-check-filter") == 0)
       VmOpts.CheckFilter = false;
     else if (Arg[0] == '-') {
@@ -271,7 +309,9 @@ int traceMain(int Argc, char **Argv) {
     ReplayOptions ROpts;
     ROpts.EnableGroundTruth = Oracle;
     ROpts.CheckFilter = VmOpts.CheckFilter;
+    ROpts.DetectShards = VmOpts.DetectShards;
     ReplayResult Run = replayTrace(Reader, Cfg, ROpts);
+    reportShards(ROpts.DetectShards, Run);
     return reportRun(Cfg.Name, Run, Oracle, DumpStats);
   }
 
@@ -356,6 +396,8 @@ int main(int Argc, char **Argv) {
           static_cast<uint64_t>(std::atoll(Arg + 18));
     else if (std::strcmp(Arg, "--async-detect") == 0)
       VmOpts.AsyncDetect = true;
+    else if (std::strncmp(Arg, "--detect-shards=", 16) == 0)
+      VmOpts.DetectShards = static_cast<size_t>(std::atoi(Arg + 16));
     else if (std::strcmp(Arg, "--no-check-filter") == 0)
       VmOpts.CheckFilter = false;
     else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {

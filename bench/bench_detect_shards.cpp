@@ -15,10 +15,14 @@
 //             with the vm/detector split, backpressure stalls, and the
 //             broadcast amplification of the best run per K.
 //
-// Broadcast amplification — (routed + broadcast x K) / (routed +
-// broadcast) deliveries per emitted event — is the structural overhead
-// sharding pays: sync edges replicate into every lane so the HB replicas
-// and filter generations stay coherent. The speedup headline divides the
+// Broadcast amplification — deliveries per emitted event — is the
+// structural overhead sharding pays. In legacy broadcast mode sync
+// edges replicate into every lane ((routed + broadcast x K) / (routed +
+// broadcast)) so the HB replicas and filter generations stay coherent;
+// in split-state mode (the default, DESIGN.md Sec. 13) each sync edge
+// applies once to the shared SyncClockTable and the ratio is 1.0 by
+// construction — the dedicated lock-heavy A/B row below records the
+// before/after. The speedup headline divides the
 // detection-heavy sync time by the best sharded time; a workload is
 // detection-heavy when the async run's detector busy time is at least
 // 25% of the sync wall-clock, exactly like bench_async_pipeline.
@@ -159,14 +163,65 @@ ShardRow measureWorkload(const Workload &W, const BenchArgs &Args) {
         Leg.VmS = R.VmSeconds;
         Leg.DetS = R.DetectorSeconds;
         Leg.Stalls = R.AsyncStalls;
+        // Split-state (the default): each sync edge is one shared-table
+        // application, so the ratio is 1.0 by construction; only a
+        // legacy --no-sync-table run would show fan-out here.
         uint64_t Emitted = R.ShardRoutedEvents + R.ShardBroadcastEvents;
-        uint64_t Delivered = R.ShardRoutedEvents + R.ShardBroadcastCopies;
+        uint64_t Delivered =
+            R.ShardRoutedEvents + R.ShardBroadcastCopies +
+            (R.ShardHorizonAdvances || R.ShardSyncPublishes
+                 ? R.ShardBroadcastEvents
+                 : 0);
         Leg.Amplification =
             Emitted ? static_cast<double>(Delivered) / Emitted : 1.0;
       }
     }
   }
   return Row;
+}
+
+/// One leg of the lock-heavy sync-amplification A/B (legacy broadcast
+/// vs the split-state SyncClockTable, DESIGN.md Sec. 13).
+struct AmpLeg {
+  double WallS = 0;
+  double Amplification = 1.0;
+  uint64_t BroadcastCopies = 0;
+  uint64_t HorizonAdvances = 0;
+  uint64_t TableReads = 0;
+  uint64_t SyncPublishes = 0;
+};
+
+AmpLeg measureAmplification(const InstrumentedProgram &IP, uint64_t Seed,
+                            int Iters, size_t Shards, bool SyncTable) {
+  VmOptions Opts;
+  Opts.Seed = Seed;
+  Opts.DetectShards = Shards;
+  Opts.SyncTable = SyncTable;
+  AmpLeg Leg;
+  for (int I = 0; I < Iters; ++I) {
+    Timer T;
+    VmResult R = runProgram(*IP.Prog, IP.Tool, Opts);
+    double Sec = T.seconds();
+    if (!R.Ok) {
+      std::fprintf(stderr, "amplification leg failed: %s\n", R.Error.c_str());
+      std::abort();
+    }
+    if (Leg.WallS == 0 || Sec < Leg.WallS)
+      Leg.WallS = Sec;
+    // Fan-out accounting is schedule-invariant; any iteration will do.
+    // Split-state mode applies each sync edge once to the shared table
+    // (one delivery); legacy mode replays it in every lane.
+    uint64_t Emitted = R.ShardRoutedEvents + R.ShardBroadcastEvents;
+    uint64_t Delivered = R.ShardRoutedEvents + R.ShardBroadcastCopies +
+                         (SyncTable ? R.ShardBroadcastEvents : 0);
+    Leg.Amplification =
+        Emitted ? static_cast<double>(Delivered) / Emitted : 1.0;
+    Leg.BroadcastCopies = R.ShardBroadcastCopies;
+    Leg.HorizonAdvances = R.ShardHorizonAdvances;
+    Leg.TableReads = R.ShardTableReads;
+    Leg.SyncPublishes = R.ShardSyncPublishes;
+  }
+  return Leg;
 }
 
 double geomeanOf(const std::vector<double> &Vals) {
@@ -187,6 +242,28 @@ int main(int Argc, char **Argv) {
   std::vector<ShardRow> Rows;
   for (const Workload &W : standardSuite(Args.Scale))
     Rows.push_back(measureWorkload(W, Args));
+
+  // Lock-heavy sync-amplification A/B (the split-state headline): tomcat
+  // is the suite's most lock-dominated workload, so at 4 shards the
+  // legacy path replays every sync edge 4x while the SyncClockTable
+  // applies it once and stages compact markers — amplification drops
+  // from ~1+3*(broadcast share) to ~1.0.
+  constexpr size_t kAmpShards = 4;
+  Workload LockHeavy = workloadByName("tomcat", Args.Scale);
+  ParseResult LockPR = parseProgram(LockHeavy.Source);
+  if (!LockPR.ok()) {
+    std::fprintf(stderr, "tomcat failed to parse: %s\n",
+                 LockPR.Error.c_str());
+    std::abort();
+  }
+  InstrumentedProgram LockIP = instrumentFastTrack(*LockPR.Prog);
+  LockIP.Prog->internSymbols();
+  int AmpIters =
+      std::max(3, Args.Opts.Iterations > 0 ? Args.Opts.Iterations : 1);
+  AmpLeg Broadcast = measureAmplification(LockIP, Args.Opts.Seed, AmpIters,
+                                          kAmpShards, false);
+  AmpLeg SyncTable = measureAmplification(LockIP, Args.Opts.Seed, AmpIters,
+                                          kAmpShards, true);
 
   TablePrinter Table("Sharded detection: end-to-end seconds by shard count");
   Table.addRow({"Program", "Sync", "Async", "S1", "S2", "S4", "S8",
@@ -228,6 +305,23 @@ int main(int Argc, char **Argv) {
                "under the 5 ms timing floor. cores="
             << Cores << ")\n";
 
+  TablePrinter Amp("Lock-heavy sync amplification: tomcat at 4 shards");
+  Amp.addRow({"SyncState", "Wall", "Amp", "Copies", "Markers", "TblReads",
+              "Publishes"});
+  Amp.addRow({"broadcast", TablePrinter::num(Broadcast.WallS, 4),
+              TablePrinter::num(Broadcast.Amplification, 3),
+              std::to_string(Broadcast.BroadcastCopies),
+              std::to_string(Broadcast.HorizonAdvances),
+              std::to_string(Broadcast.TableReads),
+              std::to_string(Broadcast.SyncPublishes)});
+  Amp.addRow({"sync-table", TablePrinter::num(SyncTable.WallS, 4),
+              TablePrinter::num(SyncTable.Amplification, 3),
+              std::to_string(SyncTable.BroadcastCopies),
+              std::to_string(SyncTable.HorizonAdvances),
+              std::to_string(SyncTable.TableReads),
+              std::to_string(SyncTable.SyncPublishes)});
+  Amp.print(std::cout);
+
   std::string Json = "{\"bench\":\"detect_shards\"," + benchMetaJson() +
                      ",\"unit\":\"seconds\",\"cores\":" +
                      std::to_string(Cores) +
@@ -267,9 +361,26 @@ int main(int Argc, char **Argv) {
     Json += "}";
     First = false;
   }
+  char AmpBuf[512];
+  std::snprintf(
+      AmpBuf, sizeof(AmpBuf),
+      "},\"lock_heavy_amplification\":{\"workload\":\"tomcat\","
+      "\"shards\":%zu,\"broadcast\":{\"wall_s\":%.6f,"
+      "\"amplification\":%.3f,\"copies\":%llu},"
+      "\"sync_table\":{\"wall_s\":%.6f,\"amplification\":%.3f,"
+      "\"copies\":%llu,\"horizon_advances\":%llu,\"table_reads\":%llu,"
+      "\"publishes\":%llu}}",
+      kAmpShards, Broadcast.WallS, Broadcast.Amplification,
+      static_cast<unsigned long long>(Broadcast.BroadcastCopies),
+      SyncTable.WallS, SyncTable.Amplification,
+      static_cast<unsigned long long>(SyncTable.BroadcastCopies),
+      static_cast<unsigned long long>(SyncTable.HorizonAdvances),
+      static_cast<unsigned long long>(SyncTable.TableReads),
+      static_cast<unsigned long long>(SyncTable.SyncPublishes));
+  Json += AmpBuf;
   char Tail[256];
   std::snprintf(Tail, sizeof(Tail),
-                "},\"geomean_speedup_heavy\":{\"1\":%.3f,\"2\":%.3f,"
+                ",\"geomean_speedup_heavy\":{\"1\":%.3f,\"2\":%.3f,"
                 "\"4\":%.3f,\"8\":%.3f,\"best\":%.3f}}",
                 geomeanOf(HeavySpeedups[0]), geomeanOf(HeavySpeedups[1]),
                 geomeanOf(HeavySpeedups[2]), geomeanOf(HeavySpeedups[3]),

@@ -75,6 +75,7 @@ ReplayResult bigfoot::replayTrace(TraceReader &Reader,
     ShardedSink::Options SO;
     SO.Shards = Opts.DetectShards;
     SO.RingBatches = Opts.ShardRingBatches;
+    SO.SyncTable = Opts.SyncTable;
     SO.Tool = Cfg;
     SO.Symbols = &Reader.symbols();
     if (Opts.EnableGroundTruth) {
@@ -101,6 +102,10 @@ ReplayResult bigfoot::replayTrace(TraceReader &Reader,
     R.ShardRoutedEvents = M.RoutedEvents;
     R.ShardBroadcastEvents = M.BroadcastEvents;
     R.ShardBroadcastCopies = M.BroadcastCopies;
+    R.ShardHorizonAdvances = M.HorizonAdvances;
+    R.ShardTableReads = M.TableReads;
+    R.ShardSyncPublishes = M.SyncPublishes;
+    R.ShardSyncTableBytes = M.SyncTableBytes;
     R.ShardOrderViolations = M.OrderViolations;
     return R;
   }

@@ -55,6 +55,10 @@ struct ReplayResult {
   uint64_t ShardRoutedEvents = 0;
   uint64_t ShardBroadcastEvents = 0;
   uint64_t ShardBroadcastCopies = 0;
+  uint64_t ShardHorizonAdvances = 0;
+  uint64_t ShardTableReads = 0;
+  uint64_t ShardSyncPublishes = 0;
+  uint64_t ShardSyncTableBytes = 0;
   uint64_t ShardOrderViolations = 0;
 };
 
@@ -76,6 +80,10 @@ struct ReplayOptions {
   size_t DetectShards = 0;
   /// Per-lane ring depth for sharded replay (clamped to >= 2).
   size_t ShardRingBatches = kDefaultAsyncRingBatches;
+  /// Split-state sync clocks for sharded replay (DESIGN.md Sec. 13).
+  /// Like the filter and shard count, a replay knob, never a trace
+  /// property; results are byte-identical on or off.
+  bool SyncTable = true;
 };
 
 /// Replays \p Reader (already open()ed) into a fresh detector built from

@@ -10,17 +10,34 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 using namespace bigfoot;
+
+size_t bigfoot::autoShardCount() {
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW <= 1)
+    return 0; // Unknown or single core: sharding would only add overhead.
+  return std::min<size_t>(8, HW - 1); // Leave a core for the producer.
+}
 
 ShardedSink::ShardedSink(Options O)
     : NumShards(O.Shards < 1 ? 1 : O.Shards) {
   size_t RingBatches = std::max<size_t>(2, O.RingBatches);
+  if (O.SyncTable) {
+    Table = std::make_unique<SyncClockTable>();
+    // Direct array checks read HB state (first-touch clock init the
+    // writer census must mirror); deferred adds do not.
+    TouchArrayChecks = !O.Tool.DeferArrayChecks;
+    ToolFilterOn = O.Tool.CheckFilter;
+  }
   Shards.reserve(NumShards);
   for (size_t S = 0; S < NumShards; ++S) {
     auto L = std::make_unique<Lane>(RingBatches);
     L->Detector =
         std::make_unique<RaceDetector>(O.Tool, L->Counters, O.Symbols);
+    if (Table)
+      L->Detector->attachSharedSync(Table.get());
     // Redirect memory sampling into the lockstep log; the merge
     // reconstructs the gauges, so shard Stats stay purely summable.
     L->Detector->setMemorySampleLog(&L->Samples);
@@ -73,6 +90,51 @@ void ShardedSink::stage(Lane &L, const Event &E, const uint32_t *Payload,
   B.Horizon.push_back(L.ProducerLastBroadcast);
 }
 
+SyncEdgeKind ShardedSink::edgeKindOf(EventKind K) {
+  switch (K) {
+  case EventKind::Acquire:
+    return SyncEdgeKind::Acquire;
+  case EventKind::Release:
+    return SyncEdgeKind::Release;
+  case EventKind::VolatileRead:
+    return SyncEdgeKind::VolatileRead;
+  case EventKind::VolatileWrite:
+    return SyncEdgeKind::VolatileWrite;
+  case EventKind::Fork:
+    return SyncEdgeKind::Fork;
+  case EventKind::Join:
+    return SyncEdgeKind::Join;
+  case EventKind::Barrier:
+    return SyncEdgeKind::Barrier;
+  case EventKind::ThreadBegin:
+    return SyncEdgeKind::ThreadBegin;
+  case EventKind::ThreadExit:
+    return SyncEdgeKind::ThreadExit;
+  case EventKind::Commit:
+    return SyncEdgeKind::Commit;
+  default:
+    return SyncEdgeKind::None; // Check kinds never reach here.
+  }
+}
+
+uint64_t ShardedSink::invalidationsOf(EventKind K, uint32_t PayloadCount) {
+  // Mirrors the owned-mode handlers' invalidateThread calls exactly:
+  // acquire and volatile read only join, so they never invalidate.
+  switch (K) {
+  case EventKind::Release:
+  case EventKind::VolatileWrite:
+  case EventKind::Join:
+  case EventKind::ThreadExit:
+    return 1;
+  case EventKind::Fork:
+    return 2; // Parent and child.
+  case EventKind::Barrier:
+    return PayloadCount; // Every party.
+  default:
+    return 0;
+  }
+}
+
 void ShardedSink::consumeBatch(const Event *Events, size_t N,
                                const uint32_t *Payload) {
   for (size_t I = 0; I < N; ++I) {
@@ -84,12 +146,39 @@ void ShardedSink::consumeBatch(const Event *Events, size_t N,
     if (E.Target & kTargetTool) {
       if (Broadcast) {
         ++BroadcastEvents;
-        for (auto &L : Shards) {
-          stage(*L, E, Payload, Seq);
-          ++BroadcastCopies;
+        if (Table) {
+          // Split-state mode: apply the edge once, then stage one
+          // compact horizon marker per lane instead of N event copies.
+          SyncEdge Edge;
+          Edge.Kind = edgeKindOf(E.Kind);
+          Edge.Tid = E.Tid;
+          Edge.Obj = E.Obj;
+          Edge.Field = E.Field;
+          Edge.Aux = E.Aux;
+          Edge.Seq = Seq;
+          if (E.PayloadCount) {
+            Edge.Parties = Payload + E.PayloadIndex;
+            Edge.NumParties = E.PayloadCount;
+          }
+          uint64_t HbBytes = Table->apply(Edge);
+          if (ToolFilterOn)
+            FilterInvalidations += invalidationsOf(E.Kind, E.PayloadCount);
+          for (auto &L : Shards)
+            stageMarker(*L, E, Payload, Seq, HbBytes);
+        } else {
+          for (auto &L : Shards) {
+            stage(*L, E, Payload, Seq);
+            ++BroadcastCopies;
+          }
         }
       } else {
         ++RoutedEvents;
+        // First-touch parity: the writer's census must grow exactly when
+        // a single detector's would (checks initialize the acting
+        // thread's clock on their HB read).
+        if (Table && (E.Kind == EventKind::FieldCheck ||
+                      (E.Kind == EventKind::ArrayCheck && TouchArrayChecks)))
+          Table->touchThread(E.Tid);
         stage(*Shards[shardOf(E.Obj)], E, Payload, Seq);
       }
     }
@@ -116,6 +205,54 @@ void ShardedSink::consumeBatch(const Event *Events, size_t N,
   }
 }
 
+void ShardedSink::stageMarker(Lane &L, const Event &E,
+                              const uint32_t *Payload, uint64_t Seq,
+                              uint64_t HbBytes) {
+  if (!L.Open) {
+    L.Open = &L.Ring.acquireSlot();
+    L.Open->clear();
+  }
+  ShardBatch &B = *L.Open;
+  ShardBatch::SyncMarker M;
+  M.Seq = Seq;
+  M.Horizon = L.ProducerLastBroadcast;
+  M.HbBytes = HbBytes;
+  M.Kind = E.Kind;
+  M.Tid = E.Tid;
+  M.Obj = E.Obj;
+  M.Aux = E.Aux;
+  if (E.PayloadCount) {
+    M.PayloadIndex = static_cast<uint32_t>(B.Payload.size());
+    M.PayloadCount = E.PayloadCount;
+    B.Payload.insert(B.Payload.end(), Payload + E.PayloadIndex,
+                     Payload + E.PayloadIndex + E.PayloadCount);
+  }
+  B.Markers.push_back(M);
+}
+
+void ShardedSink::applyMarker(Lane &L, const ShardBatch::SyncMarker &M,
+                              const uint32_t *Words) {
+  // Same ordering invariant as staged events: every earlier marker must
+  // already be applied (structural per-lane FIFO; counted if violated).
+  if (L.LastBroadcastSeq != M.Horizon)
+    ++L.OrderViolations;
+  RaceDetector &D = *L.Detector;
+  D.setEventSeq(M.Seq);
+  SyncEdge E;
+  E.Kind = edgeKindOf(M.Kind);
+  E.Tid = M.Tid;
+  E.Obj = M.Obj;
+  E.Aux = M.Aux;
+  E.Seq = M.Seq;
+  if (M.PayloadCount) {
+    E.Parties = Words + M.PayloadIndex;
+    E.NumParties = M.PayloadCount;
+  }
+  D.applySyncMarker(E, M.HbBytes);
+  L.LastBroadcastSeq = M.Seq;
+  ++L.MarkersApplied;
+}
+
 void ShardedSink::drain() {
   for (auto &L : Shards)
     L->Ring.drain();
@@ -132,8 +269,15 @@ void ShardedSink::laneLoop(Lane &L) {
       return; // Stop observed with an empty ring: every slot applied.
     auto T0 = Clock::now();
     const uint32_t *Words = B->Payload.data();
+    // Split-state mode interleaves the marker stream with the event
+    // stream by global sequence (both are staged ascending, the ranges
+    // never overlap); legacy mode has no markers and the loop reduces to
+    // the plain event walk.
+    size_t MI = 0, MN = B->Markers.size();
     for (size_t I = 0, N = B->Events.size(); I < N; ++I) {
       const Event &E = B->Events[I];
+      while (MI < MN && B->Markers[MI].Seq < B->Seq[I])
+        applyMarker(L, B->Markers[MI++], Words);
       // Ordering invariant: every broadcast this event was published
       // after must already be applied. The per-lane FIFO makes this
       // structural; the check turns any future regression into a counted
@@ -145,6 +289,8 @@ void ShardedSink::laneLoop(Lane &L) {
       if (isBroadcast(E.Kind))
         L.LastBroadcastSeq = B->Seq[I];
     }
+    while (MI < MN)
+      applyMarker(L, B->Markers[MI++], Words);
     L.EventsApplied += B->Events.size();
     L.BusyNs += uint64_t(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
@@ -157,9 +303,15 @@ ShardedSink::Merged ShardedSink::finish() {
   Merged M;
 
   // The run-end sample, in lockstep across shards (the producer appends
-  // it after drain, so every lane has applied its whole stream).
-  for (auto &L : Shards)
+  // it after drain, so every lane has applied its whole stream). In
+  // split-state mode the HB component is the writer's final census —
+  // it may have grown past the last published edge via first-touch
+  // inits on trailing routed checks, exactly like a sync detector's.
+  for (auto &L : Shards) {
+    if (Table)
+      L->Detector->syncSharedHbBytes(Table->hbBytes());
     L->Detector->sampleMemoryNow();
+  }
 
   // Partitioned counters: every tool.* name is bumped in exactly one
   // shard per contributing event, so summing final values reproduces the
@@ -233,18 +385,24 @@ ShardedSink::Merged ShardedSink::finish() {
     M.Filter.FieldMisses += F.FieldMisses;
     M.Filter.ArrayHits += F.ArrayHits;
     M.Filter.ArrayMisses += F.ArrayMisses;
-    M.Filter.Invalidations = F.Invalidations;
+    // Split-state mode counts each release edge once, producer-side
+    // (lanes tick generations without tallying); legacy mode takes one
+    // lane's tally (every lane replayed every edge).
+    M.Filter.Invalidations = Table ? FilterInvalidations : F.Invalidations;
     M.Filter.RangeExtends += F.RangeExtends;
     M.FilterTableBytes += L->Detector->filterTableBytes();
 
     ShardLaneStats LS;
     LS.Events = L->EventsApplied;
+    LS.Markers = L->MarkersApplied;
     LS.Batches = L->Ring.published();
     LS.Stalls = L->Ring.fullStalls();
     LS.BusyNs = L->BusyNs;
     M.Lanes.push_back(LS);
     M.Batches += LS.Batches;
     M.Stalls += LS.Stalls;
+    M.HorizonAdvances += L->MarkersApplied;
+    M.TableReads += L->Detector->sharedSyncReads();
     M.OrderViolations += L->OrderViolations;
     M.DetectorSeconds = std::max(M.DetectorSeconds, LS.BusyNs * 1e-9);
   }
@@ -262,5 +420,9 @@ ShardedSink::Merged ShardedSink::finish() {
   M.RoutedEvents = RoutedEvents;
   M.BroadcastEvents = BroadcastEvents;
   M.BroadcastCopies = BroadcastCopies;
+  if (Table) {
+    M.SyncPublishes = Table->publishes();
+    M.SyncTableBytes = Table->tableBytes();
+  }
   return M;
 }

@@ -14,9 +14,23 @@
 /// atomic, per-object slot arrays stay whole, and every partitioned
 /// counter sums across shards to exactly the single-detector value.
 /// Synchronization events (acquire/release, volatiles, fork/join,
-/// barrier, thread lifecycle, periodic commits) are broadcast to every
-/// shard, so each replica's HbState clocks and CheckFilter generations
-/// stay coherent with the shard's own slice of the access stream.
+/// barrier, thread lifecycle, periodic commits) take one of two paths:
+///
+///   * Split-state mode (Options::SyncTable, the default; DESIGN.md
+///     Sec. 13): the producer applies each sync edge ONCE to a shared
+///     SyncClockTable — publishing the mutated thread clocks as
+///     versioned snapshots — and stages only a compact SyncMarker per
+///     lane (sequence, horizon, post-edge HB census, decoded edge).
+///     Lanes advance their sync horizon, commit deferred footprints,
+///     tick filter generations, and sample memory off the marker, while
+///     every HB read on the check path resolves against the table at
+///     the lane's horizon. BroadcastCopies stays 0; CheckFilter
+///     invalidations are counted once, producer-side.
+///   * Legacy broadcast mode (SyncTable off): every sync event is
+///     copied to all lanes and each replica's HbState replays it, as
+///     PR 9 shipped — kept for the before/after amplification bench.
+///
+/// Both modes produce byte-identical merged results.
 ///
 /// Every event carries a producer-assigned global sequence number through
 /// its shard's SPSC ring, and every staged event additionally carries the
@@ -44,6 +58,7 @@
 #include "events/EventSink.h"
 #include "events/SpscBatchRing.h"
 #include "runtime/Detector.h"
+#include "runtime/SyncClockTable.h"
 
 #include <atomic>
 #include <cstdint>
@@ -67,21 +82,49 @@ struct ShardBatch {
   /// each event — the sync edge the event depends on.
   std::vector<uint64_t> Horizon;
 
+  /// A sync edge in split-state mode: not an event copy — the clocks
+  /// were already applied table-side — just the stamp a lane needs to
+  /// advance its horizon plus the decoded edge for footprint commits,
+  /// filter ticks, and memory samples. Barrier party lists live in the
+  /// batch's payload arena.
+  struct SyncMarker {
+    uint64_t Seq = 0;
+    uint64_t Horizon = 0; ///< Last marker staged to the lane before this.
+    uint64_t HbBytes = 0; ///< Applier's post-edge HB byte census.
+    EventKind Kind = EventKind::ThreadBegin;
+    ThreadId Tid = 0;
+    ObjectId Obj = 0;
+    uint64_t Aux = 0;
+    uint32_t PayloadIndex = 0;
+    uint32_t PayloadCount = 0;
+  };
+  /// Markers staged to this lane, ascending by Seq; lanes interleave
+  /// them with Events by sequence (both streams are staged in order).
+  std::vector<SyncMarker> Markers;
+
   void clear() {
     Events.clear();
     Payload.clear();
     Seq.clear();
     Horizon.clear();
+    Markers.clear();
   }
 };
 
 /// Post-drain statistics for one worker lane.
 struct ShardLaneStats {
   uint64_t Events = 0;  ///< Events applied by this lane.
+  uint64_t Markers = 0; ///< Sync markers applied (split-state mode).
   uint64_t Batches = 0; ///< Slots published to this lane's ring.
   uint64_t Stalls = 0;  ///< Producer blocked on this lane's full ring.
   uint64_t BusyNs = 0;  ///< Lane thread busy time (waits excluded).
 };
+
+/// Shard count for `--detect-shards=auto`: derived from
+/// hardware_concurrency() with one core reserved for the producer,
+/// clamped to 8 lanes. On a single-core box (or when concurrency is
+/// unknown) sharding stays off entirely — returns 0.
+size_t autoShardCount();
 
 /// EventSink that fans the stream out to per-shard detector workers.
 /// consumeBatch() and drain() must be called from one producer thread;
@@ -103,6 +146,11 @@ public:
     /// oracle-targeted event in stream order.
     bool Oracle = false;
     DetectorConfig OracleCfg;
+    /// Split-state mode (DESIGN.md Sec. 13): apply sync edges once to a
+    /// shared SyncClockTable and stage markers instead of broadcasting
+    /// event copies. Off replays every sync edge per lane (PR 9
+    /// behavior) — kept for the before/after amplification bench.
+    bool SyncTable = true;
   };
 
   /// Everything the shards produce, merged back into single-run shape.
@@ -126,6 +174,14 @@ public:
     uint64_t RoutedEvents = 0;
     uint64_t BroadcastEvents = 0;
     uint64_t BroadcastCopies = 0;
+    /// Split-state counters (zero in legacy broadcast mode): horizon
+    /// stamps applied across lanes (BroadcastEvents × shards — markers,
+    /// not event copies), published-table resolutions on check paths,
+    /// snapshots published, and the table's storage footprint.
+    uint64_t HorizonAdvances = 0;
+    uint64_t TableReads = 0;
+    uint64_t SyncPublishes = 0;
+    uint64_t SyncTableBytes = 0;
     /// Sync-horizon check failures across all lanes (must be zero).
     uint64_t OrderViolations = 0;
     /// Per-shard lanes, in shard order (oracle lane excluded).
@@ -169,6 +225,7 @@ private:
     /// Consumer side; published to the producer by pop()'s release edge.
     uint64_t BusyNs = 0;
     uint64_t EventsApplied = 0;
+    uint64_t MarkersApplied = 0;
     uint64_t LastBroadcastSeq = 0;
     uint64_t OrderViolations = 0;
     /// Producer side: slot being staged during the current incoming
@@ -196,13 +253,43 @@ private:
   }
 
   void stage(Lane &L, const Event &E, const uint32_t *Payload, uint64_t Seq);
+
+  /// Split-state mode: stages the compact marker for an already-applied
+  /// sync edge to \p L (party payload copied into the lane's arena).
+  void stageMarker(Lane &L, const Event &E, const uint32_t *Payload,
+                   uint64_t Seq, uint64_t HbBytes);
+
+  /// Lane side: applies one staged marker to the lane's detector.
+  void applyMarker(Lane &L, const ShardBatch::SyncMarker &M,
+                   const uint32_t *Words);
+
   void laneLoop(Lane &L);
+
+  /// Event kind -> runtime sync-edge kind (split-state mode).
+  static SyncEdgeKind edgeKindOf(EventKind K);
+
+  /// CheckFilter invalidations the owned-mode handler for this edge
+  /// would tally (Fork hits two threads, Barrier every party) — counted
+  /// once, producer-side, in split-state mode.
+  static uint64_t invalidationsOf(EventKind K, uint32_t PayloadCount);
 
   size_t NumShards;
   /// Shard lanes [0, NumShards); the oracle lane, when attached, is a
   /// separate member so shard indexing stays direct.
   std::vector<std::unique_ptr<Lane>> Shards;
   std::unique_ptr<Lane> Oracle;
+  /// Split-state mode: the shared sync-clock table (null in legacy
+  /// broadcast mode). Written only by the producer; lanes read published
+  /// snapshots. Outlives the lane threads (joined in the destructor).
+  std::unique_ptr<SyncClockTable> Table;
+  /// Routed array checks touch the writer clock only when applied
+  /// directly (deferred footprint adds never read HB state).
+  bool TouchArrayChecks = true;
+  /// Whether lane replicas run a CheckFilter (gates the producer-side
+  /// invalidation tally).
+  bool ToolFilterOn = false;
+  /// Producer-side invalidation tally (split-state mode, filter on).
+  uint64_t FilterInvalidations = 0;
   std::atomic<bool> Stop{false};
   uint64_t NextSeq = 0; ///< Producer-side global event numbering.
   uint64_t RoutedEvents = 0;

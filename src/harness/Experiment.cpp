@@ -113,6 +113,7 @@ VmOptions vmOptionsFor(const ExperimentOptions &Opts) {
   VmOpts.AsyncDetect = Opts.AsyncDetect;
   VmOpts.CheckFilter = Opts.CheckFilter;
   VmOpts.DetectShards = Opts.DetectShards;
+  VmOpts.SyncTable = Opts.SyncTable;
   return VmOpts;
 }
 
@@ -293,6 +294,7 @@ void appendReplayJobs(const PlacementTraces &Traces,
     };
     J.Opts.CheckFilter = Opts.CheckFilter;
     J.Opts.DetectShards = Opts.DetectShards;
+    J.Opts.SyncTable = Opts.SyncTable;
     Jobs.push_back(std::move(J));
   }
 }
@@ -386,6 +388,10 @@ void timeWorkload(const Workload &W, const ExperimentOptions &Opts,
       M.ShardRoutedEvents = Run.ShardRoutedEvents;
       M.ShardBroadcastEvents = Run.ShardBroadcastEvents;
       M.ShardBroadcastCopies = Run.ShardBroadcastCopies;
+      M.ShardHorizonAdvances = Run.ShardHorizonAdvances;
+      M.ShardTableReads = Run.ShardTableReads;
+      M.ShardSyncPublishes = Run.ShardSyncPublishes;
+      M.ShardSyncTableBytes = Run.ShardSyncTableBytes;
     }
     if (Traces && !VmOpts.AsyncDetect && VmOpts.DetectShards == 0) {
       const std::vector<uint8_t> &Trace =
@@ -573,7 +579,12 @@ BenchArgs bigfoot::parseBenchArgs(int Argc, char **Argv) {
     else if (std::strcmp(Argv[I], "--async-detect") == 0)
       Args.Opts.AsyncDetect = true;
     else if (std::strncmp(Argv[I], "--detect-shards=", 16) == 0)
-      Args.Opts.DetectShards = static_cast<size_t>(std::atoi(Argv[I] + 16));
+      Args.Opts.DetectShards = std::strcmp(Argv[I] + 16, "auto") == 0
+                                   ? autoShardCount()
+                                   : static_cast<size_t>(
+                                         std::atoi(Argv[I] + 16));
+    else if (std::strcmp(Argv[I], "--no-sync-table") == 0)
+      Args.Opts.SyncTable = false;
     else if (std::strcmp(Argv[I], "--no-check-filter") == 0)
       Args.Opts.CheckFilter = false;
     else if (std::strncmp(Argv[I], "--workload=", 11) == 0)

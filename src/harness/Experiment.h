@@ -62,8 +62,17 @@ struct ToolMetrics {
   uint64_t ShardRoutedEvents = 0;
   uint64_t ShardBroadcastEvents = 0;
   /// Broadcast deliveries (events x shards); amplification ratio is
-  /// (Routed + Copies) / (Routed + Broadcast).
+  /// (Routed + Copies) / (Routed + Broadcast), 1 when nothing was
+  /// emitted. Zero in split-state mode — sync edges stop fanning out.
   uint64_t ShardBroadcastCopies = 0;
+  /// Split-state sync-table accounting (DESIGN.md Sec. 13; zero in
+  /// legacy broadcast mode): horizon markers applied across lanes,
+  /// shared snapshot resolutions on check paths, snapshots published,
+  /// and the table's storage footprint.
+  uint64_t ShardHorizonAdvances = 0;
+  uint64_t ShardTableReads = 0;
+  uint64_t ShardSyncPublishes = 0;
+  uint64_t ShardSyncTableBytes = 0;
 };
 
 /// All measurements for one workload.
@@ -122,6 +131,11 @@ struct ExperimentOptions {
   /// applies to execution and replay legs alike. Counters, races, and
   /// ratios are byte-identical for every shard count.
   size_t DetectShards = 0;
+  /// Split-state sync clocks for sharded runs (DESIGN.md Sec. 13): sync
+  /// edges apply once to a shared SyncClockTable instead of replaying
+  /// in every lane. Off = the legacy broadcast fan-out; results are
+  /// byte-identical either way.
+  bool SyncTable = true;
 };
 
 /// Runs all five detectors (plus the base) on one workload.
@@ -140,8 +154,9 @@ runSuite(SuiteScale Scale,
 double geomeanOverhead(const std::vector<double> &Overheads);
 
 /// Parses --small/--iters=N/--seed=N/--jobs=N/--ast/--replay/--no-replay/
-/// --record-dir=DIR/--async-detect/--detect-shards=N/--no-check-filter/
-/// --workload=NAME command-line options shared by the bench binaries.
+/// --record-dir=DIR/--async-detect/--detect-shards=N|auto/--no-sync-table/
+/// --no-check-filter/--workload=NAME command-line options shared by the
+/// bench binaries.
 struct BenchArgs {
   SuiteScale Scale = SuiteScale::Bench;
   ExperimentOptions Opts;

@@ -259,6 +259,14 @@ public:
   /// have no tables and nothing to invalidate beyond the tally.
   void invalidateThread(ThreadId T) {
     ++Invalidations_;
+    tickThread(T);
+  }
+
+  /// The generation bump of invalidateThread without the tally: sharded
+  /// table mode (DESIGN.md Sec. 13) ticks every lane's generations when
+  /// its horizon passes a release edge, but the edge is counted once,
+  /// producer-side — summing per-lane tallies would overcount N×.
+  void tickThread(ThreadId T) {
     if (T >= Threads.size())
       return;
     Thread &Tab = Threads[T];

@@ -210,7 +210,7 @@ void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
       Probed = true;
     }
   }
-  auto [C, Cur] = Hb.current(T);
+  auto [C, Cur] = currentOf(T, TC);
 
   // Resolve the object once for the whole (possibly coalesced) check.
   // FieldShadow is append-only, so a cached index whose entry still
@@ -268,8 +268,9 @@ void RaceDetector::checkFields(ThreadId T, ObjectId Obj,
 RaceDetector::ArrayApplyInfo
 RaceDetector::applyArray(ThreadId T, ObjectId Arr, const StridedRange &R,
                          AccessKind K) {
-  auto [C, Cur] = Hb.current(T);
-  ArrayShadow &Shadow = shadowFor(Arr, cacheFor(T));
+  ThreadCache &TC = cacheFor(T);
+  auto [C, Cur] = currentOf(T, TC);
+  ArrayShadow &Shadow = shadowFor(Arr, TC);
   size_t BytesBefore = Shadow.memoryBytes();
   size_t LocsBefore = Shadow.locationCount();
   ShadowOpResult Result = Shadow.apply(R, K, Cur, C);
@@ -421,12 +422,14 @@ void RaceDetector::commitFootprints(ThreadId T) {
 }
 
 void RaceDetector::onAcquire(ThreadId T, ObjectId Lock) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(T);
   Hb.onAcquire(T, Lock);
   sampleMemory();
 }
 
 void RaceDetector::onRelease(ThreadId T, ObjectId Lock) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(T);
   Hb.onRelease(T, Lock);
   if (Filter)
@@ -434,11 +437,13 @@ void RaceDetector::onRelease(ThreadId T, ObjectId Lock) {
 }
 
 void RaceDetector::onVolatileRead(ThreadId T, ObjectId Obj, FieldId Field) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(T);
   Hb.onVolatileRead(T, Obj, Field);
 }
 
 void RaceDetector::onVolatileWrite(ThreadId T, ObjectId Obj, FieldId Field) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(T);
   Hb.onVolatileWrite(T, Obj, Field);
   if (Filter)
@@ -446,6 +451,7 @@ void RaceDetector::onVolatileWrite(ThreadId T, ObjectId Obj, FieldId Field) {
 }
 
 void RaceDetector::onFork(ThreadId Parent, ThreadId Child) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(Parent);
   Hb.onFork(Parent, Child);
   if (Filter) {
@@ -455,6 +461,7 @@ void RaceDetector::onFork(ThreadId Parent, ThreadId Child) {
 }
 
 void RaceDetector::onJoin(ThreadId Joiner, ThreadId Joined) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(Joiner);
   Hb.onJoin(Joiner, Joined);
   if (Filter)
@@ -462,6 +469,7 @@ void RaceDetector::onJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void RaceDetector::onBarrier(const std::vector<ThreadId> &Parties) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   // Parties commit in party order; the index is the RaceOrder tiebreak
   // that keeps commit races from different parties mergeable in this
   // exact order when the parties' arrays live in different shards.
@@ -478,6 +486,7 @@ void RaceDetector::onBarrier(const std::vector<ThreadId> &Parties) {
 }
 
 void RaceDetector::onThreadExit(ThreadId T) {
+  assert(!SharedSync && "shared-sync mode takes sync edges as markers");
   commitFootprints(T);
   Hb.onThreadExit(T);
   if (Filter)
@@ -535,17 +544,130 @@ void RaceDetector::sampleMemory() {
 }
 
 void RaceDetector::sampleMemoryNow() {
+  // In shared-sync mode the HB component is the applier's census at this
+  // detector's horizon — every lane carries the same value, exactly the
+  // bytes a single detector's HbState would hold at this stream point.
+  size_t HbB = SharedSync ? SharedHbBytes : Hb.memoryBytes();
   if (SampleLog) {
     // Sharded mode: defer the gauge to the merge, which needs the
     // replicated (HB) and partitioned (shadow) components separately
     // per sample point to reconstruct the undivided peak exactly.
-    SampleLog->push_back(
-        {Hb.memoryBytes(), FieldBytes + ArrayBytes + PendingBytes,
-         shadowLocationCount()});
+    SampleLog->push_back({HbB, FieldBytes + ArrayBytes + PendingBytes,
+                          shadowLocationCount()});
     return;
   }
-  Counters.gaugeMax("tool.peakShadowBytes", shadowBytes());
+  Counters.gaugeMax("tool.peakShadowBytes",
+                    HbB + FieldBytes + ArrayBytes + PendingBytes);
   Counters.gaugeMax("tool.peakShadowLocations", shadowLocationCount());
+}
+
+HbState::ThreadView RaceDetector::sharedCurrent(ThreadId T, ThreadCache &TC) {
+  const SyncClockTable &Tab = *SharedSync;
+  if (TC.SyncIdx != ThreadCache::kSyncUnresolved) {
+    // O(1) revalidation: the cached resolution is still the newest
+    // snapshot at the horizon unless the next snapshot has fallen
+    // inside it.
+    uint64_t Next = static_cast<uint64_t>(TC.SyncIdx + 1);
+    if (Next >= Tab.publishedCount(T) || Tab.entrySeq(T, Next) > SyncHorizon)
+      return {*TC.SyncC, TC.SyncCur};
+  }
+  ++SharedReads;
+  SyncClockTable::View V = Tab.readThread(T, SyncHorizon);
+  if (V.C) {
+    TC.SyncIdx = V.Idx;
+    TC.SyncC = V.C;
+    TC.SyncCur = V.Cur;
+  } else {
+    // No snapshot at the horizon: the deterministic initial view {T:1}
+    // with epoch (T,1) — what HbState::clockOf initializes to.
+    if (!TC.InitClock) {
+      TC.InitClock = std::make_unique<VectorClock>();
+      TC.InitClock->set(T, 1);
+    }
+    TC.SyncIdx = -1;
+    TC.SyncC = TC.InitClock.get();
+    TC.SyncCur = Epoch(T, 1);
+  }
+  return {*TC.SyncC, TC.SyncCur};
+}
+
+void RaceDetector::applySyncMarker(const SyncEdge &E, uint64_t HbBytesAfter) {
+  assert(SharedSync && "markers only apply in shared-sync mode");
+  // Commits run before the horizon advances, so deferred footprints
+  // resolve against pre-edge clocks — the owned-mode handlers commit
+  // before mutating HbState for the same reason. Order per kind mirrors
+  // the owned handlers exactly (commit, clock effect, filter tick,
+  // memory sample).
+  auto Advance = [&] {
+    SyncHorizon = E.Seq;
+    SharedHbBytes = HbBytesAfter;
+  };
+  switch (E.Kind) {
+  case SyncEdgeKind::Acquire:
+    commitFootprints(E.Tid);
+    Advance();
+    sampleMemory();
+    break;
+  case SyncEdgeKind::Release:
+    commitFootprints(E.Tid);
+    Advance();
+    if (Filter)
+      Filter->tickThread(E.Tid);
+    break;
+  case SyncEdgeKind::VolatileRead:
+    commitFootprints(E.Tid);
+    Advance();
+    break;
+  case SyncEdgeKind::VolatileWrite:
+    commitFootprints(E.Tid);
+    Advance();
+    if (Filter)
+      Filter->tickThread(E.Tid);
+    break;
+  case SyncEdgeKind::Fork:
+    commitFootprints(E.Tid);
+    Advance();
+    if (Filter) {
+      Filter->tickThread(E.Tid);
+      Filter->tickThread(static_cast<ThreadId>(E.Aux));
+    }
+    break;
+  case SyncEdgeKind::Join:
+    commitFootprints(E.Tid);
+    Advance();
+    if (Filter)
+      Filter->tickThread(E.Tid);
+    break;
+  case SyncEdgeKind::Barrier:
+    // Parties commit in party order with the RaceOrder tiebreak index,
+    // matching onBarrier.
+    for (size_t I = 0; I < E.NumParties; ++I) {
+      CurrentParty = I;
+      commitFootprints(E.Parties[I]);
+    }
+    CurrentParty = 0;
+    Advance();
+    if (Filter)
+      for (size_t I = 0; I < E.NumParties; ++I)
+        Filter->tickThread(E.Parties[I]);
+    sampleMemory();
+    break;
+  case SyncEdgeKind::ThreadExit:
+    commitFootprints(E.Tid);
+    Advance();
+    if (Filter)
+      Filter->tickThread(E.Tid);
+    sampleMemoryNow();
+    break;
+  case SyncEdgeKind::Commit:
+    commitFootprints(E.Tid);
+    Advance();
+    break;
+  case SyncEdgeKind::ThreadBegin:
+  case SyncEdgeKind::None:
+    Advance(); // Stream marker: horizon only.
+    break;
+  }
 }
 
 //===----------------------------------------------------------------------===

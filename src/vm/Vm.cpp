@@ -180,6 +180,7 @@ public:
       SO.RingBatches = std::max<size_t>(2, Opts.AsyncRingBatches);
       SO.Tool = *ToolCfg;
       SO.Tool.CheckFilter = Opts.CheckFilter;
+      SO.SyncTable = Opts.SyncTable;
       SO.Symbols = Syms;
       if (Opts.EnableGroundTruth) {
         SO.Oracle = true;
@@ -246,6 +247,10 @@ public:
       Result.ShardRoutedEvents = M.RoutedEvents;
       Result.ShardBroadcastEvents = M.BroadcastEvents;
       Result.ShardBroadcastCopies = M.BroadcastCopies;
+      Result.ShardHorizonAdvances = M.HorizonAdvances;
+      Result.ShardTableReads = M.TableReads;
+      Result.ShardSyncPublishes = M.SyncPublishes;
+      Result.ShardSyncTableBytes = M.SyncTableBytes;
       Result.ShardOrderViolations = M.OrderViolations;
       // Merged shard counters fold in exactly like the async fold below:
       // final values only, disjoint from the vm.* names.

@@ -84,6 +84,12 @@ struct VmOptions {
   /// AsyncDetect. Reports and counters are byte-identical to the
   /// sync path for every shard count.
   size_t DetectShards = 0;
+  /// Split-state sync clocks for sharded detection (DESIGN.md Sec. 13):
+  /// sync edges apply once to a shared SyncClockTable and lanes advance
+  /// a horizon stamp instead of replaying N broadcast copies. Off falls
+  /// back to the PR 9 broadcast fan-out; results are byte-identical
+  /// either way (only the fan-out accounting differs).
+  bool SyncTable = true;
   /// Epoch-stamped redundant-check elision in front of the detectors
   /// (DESIGN.md Sec. 11). Off = every check runs the full state machine;
   /// reports and counters are byte-identical either way.
@@ -140,6 +146,13 @@ struct VmResult {
   /// Broadcast deliveries (events x shards); the amplification ratio is
   /// (Routed + Copies) / (Routed + Broadcast).
   uint64_t ShardBroadcastCopies = 0;
+  /// Split-state mode (zero in legacy broadcast mode): horizon stamps
+  /// applied across lanes, shared-table snapshot resolutions on check
+  /// paths, snapshots published, and the table's storage footprint.
+  uint64_t ShardHorizonAdvances = 0;
+  uint64_t ShardTableReads = 0;
+  uint64_t ShardSyncPublishes = 0;
+  uint64_t ShardSyncTableBytes = 0;
   /// Sync-horizon ordering-check failures (must be zero).
   uint64_t ShardOrderViolations = 0;
 };

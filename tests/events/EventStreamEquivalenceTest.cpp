@@ -153,9 +153,25 @@ TEST(EventStreamEquivalence, DispatchModesAgreeEverywhere) {
         VmResult Sharded = runProgram(*IP.Prog, IP.Tool, ShardOpts);
         expectSameRun(Tag + " inline-vs-sharded2", Inline, Sharded);
         EXPECT_EQ(Sharded.ShardOrderViolations, 0u) << Tag;
-        EXPECT_EQ(Sharded.ShardBroadcastCopies,
+        // Split-state mode (the default, DESIGN.md Sec. 13): sync edges
+        // apply once to the shared SyncClockTable, so nothing fans out —
+        // each lane sees one horizon marker per broadcast event instead
+        // of a replayed copy.
+        EXPECT_EQ(Sharded.ShardBroadcastCopies, 0u) << Tag;
+        EXPECT_EQ(Sharded.ShardHorizonAdvances,
                   Sharded.ShardBroadcastEvents * 2)
             << Tag;
+
+        // The legacy broadcast fan-out (PR 9) must stay byte-identical
+        // too, with its events x shards copy accounting.
+        VmOptions BcastOpts = ShardOpts;
+        BcastOpts.SyncTable = false;
+        VmResult Bcast = runProgram(*IP.Prog, IP.Tool, BcastOpts);
+        expectSameRun(Tag + " inline-vs-broadcast2", Inline, Bcast);
+        EXPECT_EQ(Bcast.ShardOrderViolations, 0u) << Tag;
+        EXPECT_EQ(Bcast.ShardBroadcastCopies, Bcast.ShardBroadcastEvents * 2)
+            << Tag;
+        EXPECT_EQ(Bcast.ShardHorizonAdvances, 0u) << Tag;
 
         // Offline replay of the recorded trace, batched...
         ReplayOptions RO;
@@ -302,19 +318,155 @@ TEST(EventStreamEquivalence, ShardedMergeDeterministicAcrossShardCounts) {
         EXPECT_EQ(A.Filter.Invalidations, Sync.Filter.Invalidations) << Tag;
         EXPECT_EQ(A.Filter.RangeExtends, Sync.Filter.RangeExtends) << Tag;
         EXPECT_EQ(A.ShardOrderViolations, 0u) << Tag;
-        EXPECT_EQ(A.ShardBroadcastCopies, A.ShardBroadcastEvents * Shards)
+        // Split-state default: zero broadcast copies, one horizon marker
+        // per lane per broadcast event, and lane event tallies are
+        // exactly the routed partition.
+        EXPECT_EQ(A.ShardBroadcastCopies, 0u) << Tag;
+        EXPECT_EQ(A.ShardHorizonAdvances, A.ShardBroadcastEvents * Shards)
             << Tag;
         EXPECT_EQ(A.ShardLanes.size(), Shards) << Tag;
-        uint64_t LaneEvents = 0;
-        for (const ShardLaneStats &L : A.ShardLanes)
+        uint64_t LaneEvents = 0, LaneMarkers = 0;
+        for (const ShardLaneStats &L : A.ShardLanes) {
           LaneEvents += L.Events;
-        EXPECT_EQ(LaneEvents, A.ShardRoutedEvents + A.ShardBroadcastCopies)
-            << Tag;
+          LaneMarkers += L.Markers;
+        }
+        EXPECT_EQ(LaneEvents, A.ShardRoutedEvents) << Tag;
+        EXPECT_EQ(LaneMarkers, A.ShardHorizonAdvances) << Tag;
 
         // Run-to-run determinism at the same count: the merge may not
         // depend on worker scheduling.
         VmResult B = runProgram(*IP.Prog, IP.Tool, SO);
         expectSameRun(Tag + " rerun-shards" + std::to_string(Shards), A, B);
+
+        // The legacy broadcast path stays wired and byte-identical, with
+        // the PR 9 events x shards copy accounting.
+        VmOptions LO = SO;
+        LO.SyncTable = false;
+        VmResult C = runProgram(*IP.Prog, IP.Tool, LO);
+        expectSameRun(Tag + " broadcast-shards" + std::to_string(Shards),
+                      Sync, C);
+        EXPECT_EQ(C.ShardOrderViolations, 0u) << Tag;
+        EXPECT_EQ(C.ShardBroadcastCopies, C.ShardBroadcastEvents * Shards)
+            << Tag;
+        EXPECT_EQ(C.ShardHorizonAdvances, 0u) << Tag;
+        uint64_t BcastLaneEvents = 0;
+        for (const ShardLaneStats &L : C.ShardLanes)
+          BcastLaneEvents += L.Events;
+        EXPECT_EQ(BcastLaneEvents,
+                  C.ShardRoutedEvents + C.ShardBroadcastCopies)
+            << Tag;
+      }
+    }
+  }
+}
+
+// Lock-heavy leg of the differential grid: a synthetic lock-churn
+// program where sync edges outnumber checks by design — three workers
+// ping-ponging over two locks and a volatile flag between barrier
+// phases. This is the workload shape the split-state table exists for
+// (PR 9 broadcast amplification was worst here), so every dispatch mode
+// and both sync-state modes must agree byte-for-byte, and the marker
+// path must carry essentially all of the traffic.
+TEST(EventStreamEquivalence, LockChurnAgreesAcrossModesAndSyncState) {
+  const char *Source = R"(
+class Shared {
+  fields a, b;
+  volatile fields turn;
+}
+class Churn {
+  fields sum;
+  method spin(sh, la, lb, bar, rounds, id) {
+    total = 0;
+    r = 0;
+    while (r < rounds) {
+      acq(la);
+      x = sh.a;
+      sh.a = x + id;
+      rel(la);
+      acq(lb);
+      y = sh.b;
+      sh.b = y + x;
+      rel(lb);
+      sh.turn = r * 3 + id;
+      t = sh.turn;
+      total = total + t;
+      await bar;
+      r = r + 1;
+    }
+    this.sum = total;
+  }
+}
+thread {
+  sh = new Shared;
+  la = new Shared;
+  lb = new Shared;
+  bar = new_barrier(3);
+  c1 = new Churn;
+  c2 = new Churn;
+  c3 = new Churn;
+  rounds = 12;
+  fork t1 = c1.spin(sh, la, lb, bar, rounds, 1);
+  fork t2 = c2.spin(sh, la, lb, bar, rounds, 2);
+  fork t3 = c3.spin(sh, la, lb, bar, rounds, 3);
+  join t1;
+  join t2;
+  join t3;
+  s = c1.sum;
+  assert s > 0;
+}
+)";
+  ParseResult PR = parseProgram(Source);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  PR.Prog->internSymbols();
+  for (const InstrumentedProgram &IP : allSixConfigs(*PR.Prog)) {
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      std::string Tag =
+          "lock_churn/" + IP.Tool.Name + "/seed" + std::to_string(Seed);
+
+      VmOptions Opts;
+      Opts.Seed = Seed;
+      Opts.EnableGroundTruth = true;
+      Opts.EventBatch = 1;
+      VmResult Inline = runProgram(*IP.Prog, IP.Tool, Opts);
+
+      VmOptions AsyncOpts;
+      AsyncOpts.Seed = Seed;
+      AsyncOpts.EnableGroundTruth = true;
+      AsyncOpts.AsyncDetect = true;
+      AsyncOpts.EventBatch = 32;
+      AsyncOpts.AsyncRingBatches = 4;
+      VmResult Async = runProgram(*IP.Prog, IP.Tool, AsyncOpts);
+      expectSameRun(Tag + " inline-vs-async", Inline, Async);
+
+      for (size_t Shards : {size_t(2), size_t(4)}) {
+        VmOptions SO;
+        SO.Seed = Seed;
+        SO.EnableGroundTruth = true;
+        SO.DetectShards = Shards;
+        SO.EventBatch = 32;
+        SO.AsyncRingBatches = 2;
+        VmResult Sharded = runProgram(*IP.Prog, IP.Tool, SO);
+        std::string STag = Tag + "/shards" + std::to_string(Shards);
+        expectSameRun(STag + " inline-vs-sharded", Inline, Sharded);
+        EXPECT_EQ(Sharded.ShardOrderViolations, 0u) << STag;
+        EXPECT_EQ(Sharded.ShardBroadcastCopies, 0u) << STag;
+        EXPECT_EQ(Sharded.ShardHorizonAdvances,
+                  Sharded.ShardBroadcastEvents * Shards)
+            << STag;
+        // Lock churn means the stream is mostly sync edges: the marker
+        // path must actually be exercised, heavily.
+        EXPECT_GT(Sharded.ShardBroadcastEvents, Sharded.ShardRoutedEvents / 4)
+            << STag;
+        EXPECT_GT(Sharded.ShardSyncPublishes, 0u) << STag;
+        EXPECT_GT(Sharded.ShardSyncTableBytes, 0u) << STag;
+
+        VmOptions LO = SO;
+        LO.SyncTable = false;
+        VmResult Bcast = runProgram(*IP.Prog, IP.Tool, LO);
+        expectSameRun(STag + " inline-vs-broadcast", Inline, Bcast);
+        EXPECT_EQ(Bcast.ShardBroadcastCopies,
+                  Bcast.ShardBroadcastEvents * Shards)
+            << STag;
       }
     }
   }

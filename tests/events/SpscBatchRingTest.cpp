@@ -363,14 +363,19 @@ TEST(ShardedSink, DestructorWithoutFinishJoinsAllLanes) {
 
 // finish() after the same traffic is complete and deterministic: the
 // merged counters must partition-sum identically no matter how lane
-// scheduling interleaved, and the ordering invariant must hold.
+// scheduling interleaved, and the ordering invariant must hold. Rounds
+// alternate between split-state (sync table) and legacy broadcast mode,
+// so this also pins the two sync-state paths to byte-identical counters
+// — only the fan-out accounting may differ.
 TEST(ShardedSink, FinishAfterBroadcastHeavyTrafficIsDeterministic) {
   Stats Reference;
   for (int Round = 0; Round < 8; ++Round) {
+    const bool Table = Round % 2 == 0;
     ShardedSink::Options SO;
     SO.Shards = 3;
     SO.RingBatches = 2;
     SO.Tool = fastTrackConfig();
+    SO.SyncTable = Table;
     ShardedSink Sink(std::move(SO));
     std::vector<Event> Batch;
     std::vector<uint32_t> Payload;
@@ -397,7 +402,16 @@ TEST(ShardedSink, FinishAfterBroadcastHeavyTrafficIsDeterministic) {
     Sink.drain();
     ShardedSink::Merged M = Sink.finish();
     EXPECT_EQ(M.OrderViolations, 0u) << "round " << Round;
-    EXPECT_EQ(M.BroadcastCopies, M.BroadcastEvents * 3) << "round " << Round;
+    if (Table) {
+      EXPECT_EQ(M.BroadcastCopies, 0u) << "round " << Round;
+      EXPECT_EQ(M.HorizonAdvances, M.BroadcastEvents * 3)
+          << "round " << Round;
+      EXPECT_GT(M.SyncPublishes, 0u) << "round " << Round;
+    } else {
+      EXPECT_EQ(M.BroadcastCopies, M.BroadcastEvents * 3)
+          << "round " << Round;
+      EXPECT_EQ(M.HorizonAdvances, 0u) << "round " << Round;
+    }
     if (Round == 0)
       Reference = M.Counters;
     else

@@ -51,11 +51,18 @@ options:
                   [async] line shows the vm/detector time split)
   --detect-shards=N
                   fan detection out to N location-partitioned detector
-                  workers with sync-edge broadcast (implies the async
-                  pipeline, takes precedence over --async-detect;
-                  reports stay byte-identical for every N; a [shards]
-                  line shows the per-lane split). Also accepted by
-                  trace record and trace replay.
+                  workers (implies the async pipeline, takes precedence
+                  over --async-detect; reports stay byte-identical for
+                  every N; a [shards] line shows the per-lane split).
+                  N may be "auto": derive the count from the machine's
+                  core count (sharding stays off on one core). Also
+                  accepted by trace record and trace replay.
+  --no-sync-table
+                  sharded mode: broadcast every sync edge to all lanes
+                  (the legacy fan-out) instead of applying it once to
+                  the shared epoch-published SyncClockTable; reports
+                  and counters are byte-identical either way, only the
+                  [shards] amplification changes
   --no-check-filter
                   disable the epoch-stamped redundant-check filter in
                   front of the detector; reports and counters are
@@ -78,6 +85,14 @@ trace subcommands (record once, re-analyze offline):
 }
 
 std::string readFile(const char *Path);
+
+/// `--detect-shards=` value: a number, or "auto" for a machine-derived
+/// count (0 — sharding off — on a single core).
+size_t parseShardCount(const char *Value) {
+  if (std::strcmp(Value, "auto") == 0)
+    return autoShardCount();
+  return static_cast<size_t>(std::atoi(Value));
+}
 
 /// The post-run report shared verbatim by execution and replay — the
 /// record/replay smoke test diffs the two outputs byte for byte.
@@ -129,15 +144,27 @@ template <typename RunT>
 void reportShards(size_t Shards, const RunT &Run) {
   if (Shards == 0)
     return;
-  // Amplification: deliveries per emitted event — sync edges fan out to
-  // every lane, routed checks land on exactly one.
+  // Amplification: deliveries per emitted event — routed checks land on
+  // exactly one lane; sync edges fan out to every lane in legacy
+  // broadcast mode (copies = events x lanes) but apply exactly once to
+  // the shared table in split-state mode, so there the ratio sits at
+  // 1.0 by construction. An empty stream has no deliveries to amplify,
+  // so the ratio pins to 1 instead of dividing by zero.
+  bool SplitState = Run.ShardHorizonAdvances || Run.ShardSyncPublishes;
   uint64_t Emitted = Run.ShardRoutedEvents + Run.ShardBroadcastEvents;
-  uint64_t Delivered = Run.ShardRoutedEvents + Run.ShardBroadcastCopies;
+  uint64_t Delivered = Run.ShardRoutedEvents + Run.ShardBroadcastCopies +
+                       (SplitState ? Run.ShardBroadcastEvents : 0);
   std::cerr << "[shards] " << Run.ShardLanes.size() << " lane(s), "
             << Run.ShardRoutedEvents << " routed + "
             << Run.ShardBroadcastEvents << " broadcast event(s), "
             << (Emitted ? static_cast<double>(Delivered) / Emitted : 1.0)
             << "x amplification\n";
+  if (Run.ShardSyncPublishes || Run.ShardHorizonAdvances)
+    std::cerr << "[shards] sync table: " << Run.ShardSyncPublishes
+              << " publish(es), " << Run.ShardTableReads
+              << " table read(s), " << Run.ShardHorizonAdvances
+              << " horizon advance(s), " << Run.ShardSyncTableBytes
+              << " table byte(s)\n";
   for (size_t I = 0; I < Run.ShardLanes.size(); ++I) {
     const ShardLaneStats &L = Run.ShardLanes[I];
     std::cerr << "[shards]   lane " << I << ": " << L.Events
@@ -245,7 +272,9 @@ int traceMain(int Argc, char **Argv) {
     else if (std::strcmp(Arg, "--async-detect") == 0)
       VmOpts.AsyncDetect = true;
     else if (std::strncmp(Arg, "--detect-shards=", 16) == 0)
-      VmOpts.DetectShards = static_cast<size_t>(std::atoi(Arg + 16));
+      VmOpts.DetectShards = parseShardCount(Arg + 16);
+    else if (std::strcmp(Arg, "--no-sync-table") == 0)
+      VmOpts.SyncTable = false;
     else if (std::strcmp(Arg, "--no-check-filter") == 0)
       VmOpts.CheckFilter = false;
     else if (Arg[0] == '-') {
@@ -310,6 +339,7 @@ int traceMain(int Argc, char **Argv) {
     ROpts.EnableGroundTruth = Oracle;
     ROpts.CheckFilter = VmOpts.CheckFilter;
     ROpts.DetectShards = VmOpts.DetectShards;
+    ROpts.SyncTable = VmOpts.SyncTable;
     ReplayResult Run = replayTrace(Reader, Cfg, ROpts);
     reportShards(ROpts.DetectShards, Run);
     return reportRun(Cfg.Name, Run, Oracle, DumpStats);
@@ -397,7 +427,9 @@ int main(int Argc, char **Argv) {
     else if (std::strcmp(Arg, "--async-detect") == 0)
       VmOpts.AsyncDetect = true;
     else if (std::strncmp(Arg, "--detect-shards=", 16) == 0)
-      VmOpts.DetectShards = static_cast<size_t>(std::atoi(Arg + 16));
+      VmOpts.DetectShards = parseShardCount(Arg + 16);
+    else if (std::strcmp(Arg, "--no-sync-table") == 0)
+      VmOpts.SyncTable = false;
     else if (std::strcmp(Arg, "--no-check-filter") == 0)
       VmOpts.CheckFilter = false;
     else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
